@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation: im2col/GEMM vs direct convolution on the CPU substrate.
+ * The paper's §IV-A1 argues the lowering choice is device-dependent:
+ * GEMM thrives where matrix engines and bandwidth exist, the direct
+ * loop nest avoids the K^2 data duplication. This bench measures both
+ * backends of our own Conv2d across layer shapes and reports the
+ * duplication factor that drives the difference.
+ */
+#include <chrono>
+#include <cstdio>
+
+#include "exp_common.h"
+#include "nn/conv2d.h"
+
+using namespace insitu;
+using namespace insitu::bench;
+
+namespace {
+
+double
+time_forward(Conv2d& conv, const Tensor& x, int reps)
+{
+    // Warm-up pass, then timed repetitions.
+    conv.forward(x, false);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) conv.forward(x, false);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count() /
+           static_cast<double>(reps);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation", "conv lowering: im2col/GEMM vs direct loops",
+           "im2col duplicates the input K^2-fold (Fig. 8) but feeds a "
+           "regular GEMM; the direct nest (Fig. 9) avoids the copy");
+
+    struct Case {
+        const char* name;
+        int64_t n, m, k, size, batch;
+    };
+    const Case cases[] = {
+        {"1x1 kernel", 16, 16, 1, 24, 8},
+        {"3x3 small", 16, 32, 3, 12, 8},
+        {"3x3 wide", 32, 32, 3, 24, 4},
+        {"5x5", 8, 16, 5, 24, 4},
+        {"7x7", 4, 8, 7, 24, 4},
+    };
+
+    Rng rng(2018);
+    TablePrinter table({"layer", "im2col (ms)", "direct (ms)",
+                        "direct/im2col", "duplication (K^2)"});
+    double ratio_k1 = 0.0, ratio_k5 = 0.0, ratio_k7 = 0.0;
+    for (const Case& c : cases) {
+        Conv2d conv("c", c.n, c.m, c.k, 1, c.k / 2, rng);
+        Tensor x({c.batch, c.n, c.size, c.size});
+        x.fill_uniform(rng, -1.0f, 1.0f);
+        conv.set_backend(ConvBackend::kIm2col);
+        const double t_gemm = time_forward(conv, x, 5);
+        conv.set_backend(ConvBackend::kDirect);
+        const double t_direct = time_forward(conv, x, 5);
+        const double ratio = t_direct / t_gemm;
+        if (c.k == 1) ratio_k1 = ratio;
+        if (c.k == 5) ratio_k5 = ratio;
+        if (c.k == 7) ratio_k7 = ratio;
+        table.add_row({c.name, TablePrinter::num(t_gemm * 1e3, 2),
+                       TablePrinter::num(t_direct * 1e3, 2),
+                       TablePrinter::num(ratio, 2),
+                       std::to_string(c.k * c.k)});
+    }
+    std::printf("%s", table.to_string().c_str());
+    maybe_write_csv("ablation_conv_backend", table);
+    // The device-dependent trade-off of §IV-A1, measured: GEMM's
+    // regular inner loop wins where duplication is cheap (small K),
+    // and the direct nest closes the gap as K^2 grows because im2col
+    // materializes K^2 copies of every input pixel.
+    verdict(ratio_k1 > ratio_k5 && ratio_k5 > ratio_k7 &&
+                ratio_k7 < 1.3,
+            "the direct/im2col time ratio falls monotonically with "
+            "the K^2 duplication factor, converging near 7x7 — the "
+            "same trade-off that makes GPUs pick Fig. 8 and FPGAs "
+            "pick Fig. 9");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig. 11: AlexNet inference latency rises with batch size on both
+ * the mobile GPU and the FPGA, while the GPU's performance/power
+ * ratio improves with batch and the FPGA's stays flat.
+ */
+#include <cstdio>
+
+#include "exp_common.h"
+#include "hw/fpga_model.h"
+#include "hw/gpu_model.h"
+
+using namespace insitu;
+using namespace insitu::bench;
+
+int
+main()
+{
+    banner("Fig 11", "latency and perf/power vs batch size (AlexNet)",
+           "latency grows with batch on both devices; GPU perf/W "
+           "improves with batch, FPGA perf/W is flat");
+
+    GpuModel gpu(tx1_spec());
+    FpgaModel fpga(vx690t_spec());
+    const NetworkDesc net = alexnet_desc();
+    const EngineUnroll conv_engine{32, 64};
+    const EngineUnroll fcn_engine{8, 10};
+
+    TablePrinter table({"batch", "GPU latency (ms)", "GPU img/s/W",
+                        "FPGA latency (ms)", "FPGA img/s/W"});
+    double gpu_eff_1 = 0, gpu_eff_64 = 0, fpga_eff_1 = 0,
+           fpga_eff_64 = 0;
+    double prev_gpu_lat = 0, prev_fpga_lat = 0;
+    bool latency_monotone = true;
+    for (int64_t b : {1, 2, 4, 8, 16, 32, 64}) {
+        const double gpu_lat = gpu.network_latency(net, b);
+        const double gpu_eff = gpu.perf_per_watt(net, b);
+        // FPGA single-task deployment: layer-by-layer, no batch loop
+        // (the Fig. 9 baseline implementation).
+        double fpga_lat = 0.0;
+        for (const auto& l : net.conv_layers())
+            fpga_lat += fpga.conv_time_unrolled(l, conv_engine);
+        fpga_lat *= static_cast<double>(b);
+        fpga_lat += fpga.all_fcn_time(net, fcn_engine, b,
+                                      /*batch_shares_weights=*/false);
+        const double fpga_eff = static_cast<double>(b) / fpga_lat /
+                                fpga.spec().power_watts;
+        if (gpu_lat < prev_gpu_lat || fpga_lat < prev_fpga_lat)
+            latency_monotone = false;
+        prev_gpu_lat = gpu_lat;
+        prev_fpga_lat = fpga_lat;
+        if (b == 1) {
+            gpu_eff_1 = gpu_eff;
+            fpga_eff_1 = fpga_eff;
+        }
+        if (b == 64) {
+            gpu_eff_64 = gpu_eff;
+            fpga_eff_64 = fpga_eff;
+        }
+        table.add_row({std::to_string(b),
+                       TablePrinter::num(gpu_lat * 1e3, 2),
+                       TablePrinter::num(gpu_eff, 2),
+                       TablePrinter::num(fpga_lat * 1e3, 2),
+                       TablePrinter::num(fpga_eff, 2)});
+    }
+    std::printf("%s", table.to_string().c_str());
+    maybe_write_csv("fig11", table);
+
+    const bool gpu_improves = gpu_eff_64 > 1.5 * gpu_eff_1;
+    const bool fpga_flat =
+        fpga_eff_64 < 1.15 * fpga_eff_1 &&
+        fpga_eff_64 > 0.85 * fpga_eff_1;
+    verdict(latency_monotone && gpu_improves && fpga_flat,
+            "latency monotone in batch on both devices; GPU perf/W "
+            "scales with batch, FPGA perf/W flat without the batch "
+            "loop");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig. 12: at small batch sizes the FCN layers account for up to
+ * ~50% of AlexNet's runtime on both devices; the share shrinks as
+ * batching amortizes the FCN weights.
+ */
+#include <cstdio>
+
+#include "exp_common.h"
+#include "hw/fpga_model.h"
+#include "hw/gpu_model.h"
+
+using namespace insitu;
+using namespace insitu::bench;
+
+int
+main()
+{
+    banner("Fig 12", "CONV vs FCN runtime breakdown (AlexNet)",
+           "FCN layers are up to ~50% of runtime at batch 1-4 and "
+           "shrink with batch");
+
+    GpuModel gpu(tx1_spec());
+    FpgaModel fpga(vx690t_spec());
+    const NetworkDesc net = alexnet_desc();
+    const EngineUnroll conv_engine{32, 64};
+    const EngineUnroll fcn_engine{8, 10};
+
+    TablePrinter table(
+        {"batch", "GPU conv %", "GPU fcn %", "FPGA conv %",
+         "FPGA fcn %"});
+    double gpu_fcn_small = 0, gpu_fcn_large = 0;
+    double fpga_fcn_small = 0, fpga_fcn_large = 0;
+    for (int64_t b : {1, 2, 4, 8, 16, 32, 64}) {
+        const double gconv = gpu.conv_latency(net, b);
+        const double gfcn = gpu.fcn_latency(net, b);
+        double fconv = 0.0;
+        for (const auto& l : net.conv_layers())
+            fconv += fpga.conv_time_unrolled(l, conv_engine);
+        fconv *= static_cast<double>(b);
+        const double ffcn = fpga.all_fcn_time(net, fcn_engine, b, true);
+        const double gshare = gfcn / (gconv + gfcn);
+        const double fshare = ffcn / (fconv + ffcn);
+        if (b == 1) {
+            gpu_fcn_small = gshare;
+            fpga_fcn_small = fshare;
+        }
+        if (b == 64) {
+            gpu_fcn_large = gshare;
+            fpga_fcn_large = fshare;
+        }
+        table.add_row({std::to_string(b),
+                       TablePrinter::num(100 * (1 - gshare), 1),
+                       TablePrinter::num(100 * gshare, 1),
+                       TablePrinter::num(100 * (1 - fshare), 1),
+                       TablePrinter::num(100 * fshare, 1)});
+    }
+    std::printf("%s", table.to_string().c_str());
+    maybe_write_csv("fig12", table);
+
+    verdict(gpu_fcn_small > 0.3 && fpga_fcn_small > 0.3 &&
+                gpu_fcn_large < gpu_fcn_small &&
+                fpga_fcn_large < fpga_fcn_small,
+            "FCN dominates at batch 1 (>30%) and shrinks with batch "
+            "on both devices");
+    return 0;
+}

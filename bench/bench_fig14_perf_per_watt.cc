@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fig. 13/14: the batch loop added to the FPGA FCN implementation
+ * (Fig. 13) lets FCN weights be reused across a batch. Perf/W of FCN
+ * layers then improves with batch on both devices; CONV perf/W
+ * improves with batch on the GPU but stays flat on the FPGA, and GPU
+ * overall efficiency beats FPGA in Single-running mode.
+ */
+#include <cstdio>
+
+#include "exp_common.h"
+#include "hw/fpga_model.h"
+#include "hw/gpu_model.h"
+
+using namespace insitu;
+using namespace insitu::bench;
+
+int
+main()
+{
+    banner("Fig 14", "perf/power of CONV and FCN layers vs batch",
+           "batching helps GPU CONV+FCN and FPGA FCN (with the batch "
+           "loop), but not FPGA CONV; GPU overall wins");
+
+    GpuModel gpu(tx1_spec());
+    FpgaModel fpga(vx690t_spec());
+    const NetworkDesc net = alexnet_desc();
+    const EngineUnroll conv_engine{32, 64};
+    const EngineUnroll fcn_engine{8, 10};
+
+    auto gpu_conv_eff = [&](int64_t b) {
+        return static_cast<double>(b) / gpu.conv_latency(net, b) /
+               gpu.spec().power_watts;
+    };
+    auto gpu_fcn_eff = [&](int64_t b) {
+        return static_cast<double>(b) / gpu.fcn_latency(net, b) /
+               gpu.spec().power_watts;
+    };
+    auto fpga_conv_eff = [&](int64_t b) {
+        double t = 0.0;
+        for (const auto& l : net.conv_layers())
+            t += fpga.conv_time_unrolled(l, conv_engine);
+        return static_cast<double>(b) / (t * static_cast<double>(b)) /
+               fpga.spec().power_watts;
+    };
+    auto fpga_fcn_eff = [&](int64_t b, bool batch_loop) {
+        const double t =
+            fpga.all_fcn_time(net, fcn_engine, b, batch_loop);
+        return static_cast<double>(b) / t / fpga.spec().power_watts;
+    };
+
+    TablePrinter table({"batch", "GPU conv", "GPU fcn", "FPGA conv",
+                        "FPGA fcn (no loop)", "FPGA fcn (batch loop)"});
+    for (int64_t b : {1, 4, 16, 64}) {
+        table.add_row({std::to_string(b),
+                       TablePrinter::num(gpu_conv_eff(b), 2),
+                       TablePrinter::num(gpu_fcn_eff(b), 2),
+                       TablePrinter::num(fpga_conv_eff(b), 2),
+                       TablePrinter::num(fpga_fcn_eff(b, false), 2),
+                       TablePrinter::num(fpga_fcn_eff(b, true), 2)});
+    }
+    std::printf("%s", table.to_string().c_str());
+    maybe_write_csv("fig14", table);
+
+    const bool gpu_conv_up = gpu_conv_eff(64) > gpu_conv_eff(1);
+    const bool gpu_fcn_up = gpu_fcn_eff(64) > 2.0 * gpu_fcn_eff(1);
+    const bool fpga_conv_flat =
+        std::abs(fpga_conv_eff(64) - fpga_conv_eff(1)) <
+        0.01 * fpga_conv_eff(1);
+    const bool fpga_fcn_loop_up =
+        fpga_fcn_eff(64, true) > 2.0 * fpga_fcn_eff(64, false);
+    const bool gpu_overall_wins =
+        gpu.perf_per_watt(net, 64) >
+        64.0 /
+            (fpga.all_fcn_time(net, fcn_engine, 64, true) +
+             64.0 * [&] {
+                 double t = 0.0;
+                 for (const auto& l : net.conv_layers())
+                     t += fpga.conv_time_unrolled(l, conv_engine);
+                 return t;
+             }()) /
+            fpga.spec().power_watts;
+    verdict(gpu_conv_up && gpu_fcn_up && fpga_conv_flat &&
+                fpga_fcn_loop_up && gpu_overall_wins,
+            "GPU conv/fcn efficiency scales with batch, FPGA conv is "
+            "batch-invariant, the Fig. 13 batch loop rescues FPGA fcn, "
+            "and overall GPU wins Single-running");
+    return 0;
+}

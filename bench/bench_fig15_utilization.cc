@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig. 15: resource utilization of CONV layers vs batch size — the
+ * GPU's utilization (Eq 3) climbs toward 1 as batching enlarges the
+ * grid; the FPGA's utilization (Eq 4) has no batch term at all.
+ */
+#include <cstdio>
+
+#include "exp_common.h"
+#include "hw/fpga_model.h"
+#include "hw/gpu_model.h"
+
+using namespace insitu;
+using namespace insitu::bench;
+
+int
+main()
+{
+    banner("Fig 15", "CONV resource utilization vs batch",
+           "GPU utilization rises with batch (Eq 3); FPGA utilization "
+           "is batch-independent (Eq 4)");
+
+    GpuModel gpu(tx1_spec());
+    const EngineUnroll engine{32, 64};
+    const NetworkDesc net = alexnet_desc();
+
+    TablePrinter table({"batch", "GPU util (mean conv)",
+                        "FPGA util (mean conv)"});
+    double gpu_1 = 0, gpu_64 = 0, fpga_1 = 0, fpga_64 = 0;
+    for (int64_t b : {1, 2, 4, 8, 16, 32, 64}) {
+        double gpu_util = 0.0, fpga_util = 0.0;
+        const auto convs = net.conv_layers();
+        for (const auto& l : convs) {
+            gpu_util += gpu.utilization(l, b);
+            fpga_util += FpgaModel::utilization(l, engine);
+        }
+        gpu_util /= static_cast<double>(convs.size());
+        fpga_util /= static_cast<double>(convs.size());
+        if (b == 1) {
+            gpu_1 = gpu_util;
+            fpga_1 = fpga_util;
+        }
+        if (b == 64) {
+            gpu_64 = gpu_util;
+            fpga_64 = fpga_util;
+        }
+        table.add_row({std::to_string(b),
+                       TablePrinter::num(gpu_util, 3),
+                       TablePrinter::num(fpga_util, 3)});
+    }
+    std::printf("%s", table.to_string().c_str());
+    maybe_write_csv("fig15", table);
+
+    verdict(gpu_64 > gpu_1 && fpga_64 == fpga_1,
+            "GPU conv utilization improves with batch; FPGA conv "
+            "utilization is exactly batch-invariant");
+    return 0;
+}

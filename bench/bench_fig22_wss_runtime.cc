@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 22: running all AlexNet CONV layers (inference + the nine
+ * diagnosis tiles) on NWS, WS and WSS at an equal PE budget (2628):
+ * WSS has the best compute time, WS the worst (engine idleness), and
+ * WSS's data-access time is far below NWS and falls as more layers
+ * share weights (CONV-0 / CONV-3 / CONV-5).
+ */
+#include <cstdio>
+
+#include "exp_common.h"
+#include "fpga/arch.h"
+
+using namespace insitu;
+using namespace insitu::bench;
+
+int
+main()
+{
+    banner("Fig 22", "CONV runtime of NWS / WS / WSS at 2628 PEs",
+           "WSS best compute, WS worst; WSS data access << NWS and "
+           "decreases with shared layers");
+
+    FpgaArchSim sim(vx690t_spec(), 2628);
+    const NetworkDesc net = alexnet_desc();
+
+    TablePrinter table({"sharing", "arch", "compute (ms)",
+                        "data access (ms)", "total (ms)",
+                        "tile idle %"});
+    double results[3][3] = {};
+    const size_t strategies[] = {0, 3, 5};
+    const ArchKind kinds[] = {ArchKind::kNws, ArchKind::kWs,
+                              ArchKind::kWss};
+    for (size_t s = 0; s < 3; ++s) {
+        for (size_t k = 0; k < 3; ++k) {
+            const auto stats =
+                sim.run_conv_layers(net, kinds[k], strategies[s]);
+            results[s][k] = stats.total_seconds();
+            table.add_row(
+                {"CONV-" + std::to_string(strategies[s]),
+                 arch_name(kinds[k]),
+                 TablePrinter::num(stats.compute_seconds * 1e3, 2),
+                 TablePrinter::num(stats.access_seconds * 1e3, 2),
+                 TablePrinter::num(stats.total_seconds() * 1e3, 2),
+                 TablePrinter::num(stats.idle_fraction * 100, 0)});
+        }
+    }
+    std::printf("%s", table.to_string().c_str());
+    maybe_write_csv("fig22", table);
+
+    bool wss_always_best = true;
+    for (size_t s = 0; s < 3; ++s) {
+        if (results[s][2] >= results[s][0] ||
+            results[s][2] >= results[s][1])
+            wss_always_best = false;
+    }
+    const auto wss0 = sim.run_conv_layers(net, ArchKind::kWss, 0);
+    const auto wss5 = sim.run_conv_layers(net, ArchKind::kWss, 5);
+    const bool access_falls =
+        wss5.access_seconds < wss0.access_seconds;
+    verdict(wss_always_best && access_falls,
+            "WSS wins under every sharing strategy and its data "
+            "access shrinks as the shared prefix grows");
+    return 0;
+}

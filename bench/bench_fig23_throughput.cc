@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig. 23: maximum Co-running throughput under latency requirements
+ * of 50-800 ms. NWS is flat (no FCN batching); NWS-batch improves but
+ * trails; WS cannot meet 50 ms and is always lowest; WSS-NWS wins at
+ * every requirement.
+ */
+#include <cstdio>
+
+#include "exp_common.h"
+#include "fpga/pipeline.h"
+
+using namespace insitu;
+using namespace insitu::bench;
+
+int
+main()
+{
+    banner("Fig 23", "throughput vs latency requirement (Co-running)",
+           "WSS-NWS best everywhere; WS misses 50 ms; NWS flat "
+           "without batching");
+
+    CorunPipeline pipe(vx690t_spec(), 2628, {8, 10});
+    const NetworkDesc net = alexnet_desc();
+    const double reqs[] = {0.05, 0.1, 0.2, 0.4, 0.8};
+    const PipelineVariant variants[] = {
+        PipelineVariant::kNws, PipelineVariant::kNwsBatch,
+        PipelineVariant::kWs, PipelineVariant::kWssNws};
+
+    TablePrinter table({"latency req (ms)", "NWS", "NWS-batch", "WS",
+                        "WSS-NWS"});
+    bool wss_always_best = true;
+    double nws_min = 1e30, nws_max = 0.0;
+    bool ws_misses_50 = false;
+    for (double req : reqs) {
+        std::vector<std::string> row{TablePrinter::num(req * 1e3, 0)};
+        double best_wss = 0.0, best_other = 0.0;
+        for (PipelineVariant v : variants) {
+            const PipelinePlan plan =
+                pipe.best_under_latency(net, v, req);
+            if (!plan.feasible) {
+                row.push_back("x");
+                if (v == PipelineVariant::kWs && req == 0.05)
+                    ws_misses_50 = true;
+                continue;
+            }
+            row.push_back(TablePrinter::num(plan.throughput, 1) +
+                          " (B=" + std::to_string(plan.batch) + ")");
+            if (v == PipelineVariant::kWssNws)
+                best_wss = plan.throughput;
+            else
+                best_other = std::max(best_other, plan.throughput);
+            if (v == PipelineVariant::kNws) {
+                nws_min = std::min(nws_min, plan.throughput);
+                nws_max = std::max(nws_max, plan.throughput);
+            }
+        }
+        if (best_wss <= best_other) wss_always_best = false;
+        table.add_row(row);
+    }
+    std::printf("%s", table.to_string().c_str());
+    maybe_write_csv("fig23", table);
+
+    const bool nws_flat = nws_max < 1.15 * nws_min;
+    verdict(wss_always_best && nws_flat && ws_misses_50,
+            "WSS-NWS dominates at every latency requirement, NWS "
+            "cannot use looser budgets, and WS fails the 50 ms point");
+    return 0;
+}

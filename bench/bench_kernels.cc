@@ -1,0 +1,172 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the executable substrate:
+ * GEMM, im2col, conv forward/backward, jigsaw batching and synthetic
+ * rendering. These track the performance of the library itself (not
+ * a paper figure).
+ */
+#include <benchmark/benchmark.h>
+
+#include "data/synth.h"
+#include "models/tiny.h"
+#include "nn/conv2d.h"
+#include "nn/loss.h"
+#include "nn/trainer.h"
+#include "nn/lrn.h"
+#include "selfsup/jigsaw.h"
+#include "selfsup/relative.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace insitu {
+namespace {
+
+void
+BM_Matmul(benchmark::State& state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(1);
+    Tensor a({n, n}), b({n, n});
+    a.fill_uniform(rng, -1.0f, 1.0f);
+    b.fill_uniform(rng, -1.0f, 1.0f);
+    for (auto _ : state) {
+        Tensor c = matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_Im2col(benchmark::State& state)
+{
+    Rng rng(2);
+    Tensor x({1, 16, 24, 24});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    ConvGeometry g;
+    g.in_channels = 16;
+    g.in_h = g.in_w = 24;
+    g.kernel = 3;
+    g.pad = 1;
+    for (auto _ : state) {
+        Tensor cols = im2col(x, 0, g);
+        benchmark::DoNotOptimize(cols.data());
+    }
+}
+BENCHMARK(BM_Im2col);
+
+void
+BM_ConvForward(benchmark::State& state)
+{
+    const int64_t batch = state.range(0);
+    Rng rng(3);
+    Conv2d conv("c", 16, 32, 3, 1, 1, rng);
+    Tensor x({batch, 16, 12, 12});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    for (auto _ : state) {
+        Tensor y = conv.forward(x, false);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ConvForward)->Arg(1)->Arg(8)->Arg(32);
+
+void
+BM_TrainStep(benchmark::State& state)
+{
+    Rng rng(4);
+    TinyConfig config;
+    Network net = make_tiny_inference(config, rng);
+    Sgd opt({.lr = 0.01, .momentum = 0.9});
+    Tensor x({8, 3, 24, 24});
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    std::vector<int64_t> y(8);
+    for (size_t i = 0; i < y.size(); ++i)
+        y[i] = static_cast<int64_t>(i % 10);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(train_batch(net, opt, x, y));
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_TrainStep);
+
+void
+BM_JigsawBatch(benchmark::State& state)
+{
+    Rng rng(5);
+    PermutationSet perms(16, rng);
+    Tensor images({8, 3, 24, 24});
+    images.fill_uniform(rng, 0.0f, 1.0f);
+    for (auto _ : state) {
+        JigsawBatch batch = make_jigsaw_batch(images, perms, rng);
+        benchmark::DoNotOptimize(batch.patches.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_JigsawBatch);
+
+void
+BM_ConvDirect(benchmark::State& state)
+{
+    Rng rng(7);
+    Conv2d conv("c", 16, 32, 3, 1, 1, rng);
+    conv.set_backend(ConvBackend::kDirect);
+    Tensor x({8, 16, 12, 12});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    for (auto _ : state) {
+        Tensor y = conv.forward(x, false);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_ConvDirect);
+
+void
+BM_Lrn(benchmark::State& state)
+{
+    Rng rng(8);
+    LocalResponseNorm lrn("n", 5);
+    Tensor x({8, 16, 12, 12});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    for (auto _ : state) {
+        Tensor y = lrn.forward(x, false);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_Lrn);
+
+void
+BM_RelativeBatch(benchmark::State& state)
+{
+    Rng rng(9);
+    Tensor images({8, 3, 24, 24});
+    images.fill_uniform(rng, 0.0f, 1.0f);
+    for (auto _ : state) {
+        RelativeBatch batch = make_relative_batch(images, rng);
+        benchmark::DoNotOptimize(batch.pairs.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_RelativeBatch);
+
+void
+BM_RenderImage(benchmark::State& state)
+{
+    Rng rng(6);
+    SynthConfig config;
+    const Condition cond = Condition::in_situ(0.5);
+    int cls = 0;
+    for (auto _ : state) {
+        Tensor img = render_image(config, cls, cond, rng);
+        benchmark::DoNotOptimize(img.data());
+        cls = (cls + 1) % config.num_classes;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RenderImage);
+
+} // namespace
+} // namespace insitu
+
+BENCHMARK_MAIN();

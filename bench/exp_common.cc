@@ -1,0 +1,88 @@
+#include "exp_common.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "nn/optimizer.h"
+#include "util/csv.h"
+
+namespace insitu::bench {
+
+void
+banner(const std::string& id, const std::string& title,
+       const std::string& paper_claim)
+{
+    std::printf("==============================================\n");
+    std::printf("%s — %s\n", id.c_str(), title.c_str());
+    std::printf("paper: %s\n", paper_claim.c_str());
+    std::printf("==============================================\n");
+}
+
+void
+verdict(bool shape_holds, const std::string& detail)
+{
+    std::printf("[%s] %s\n\n", shape_holds ? "SHAPE-OK" : "SHAPE-MISS",
+                detail.c_str());
+}
+
+void
+maybe_write_csv(const std::string& id,
+                const std::vector<std::string>& headers,
+                const std::vector<std::vector<std::string>>& rows)
+{
+    const char* dir = std::getenv("INSITU_BENCH_CSV_DIR");
+    if (dir == nullptr || *dir == '\0') return;
+    CsvWriter csv(headers);
+    for (const auto& row : rows) csv.add_row(row);
+    const std::string path = std::string(dir) + "/" + id + ".csv";
+    if (csv.write_file(path))
+        std::printf("wrote %s\n", path.c_str());
+}
+
+void
+maybe_write_csv(const std::string& id, const TablePrinter& table)
+{
+    maybe_write_csv(id, table.headers(), table.rows());
+}
+
+double
+fit(Network& net, const Dataset& data, const TrainScale& scale,
+    int epochs_override)
+{
+    Sgd opt({.lr = scale.lr, .momentum = 0.9});
+    Rng rng(scale.seed ^ 0xF17);
+    const auto t0 = std::chrono::steady_clock::now();
+    train_epochs(net, opt, data.images, data.labels, scale.batch_size,
+                 epochs_override >= 0 ? epochs_override : scale.epochs,
+                 rng);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double
+accuracy(Network& net, const Dataset& data)
+{
+    return evaluate_accuracy(net, data.images, data.labels);
+}
+
+double
+pretrain_jigsaw(JigsawNetwork& jigsaw, const PermutationSet& perms,
+                const Tensor& raw, int epochs, Rng& rng)
+{
+    Sgd opt({.lr = 0.015, .momentum = 0.9});
+    const int64_t n = raw.dim(0);
+    const int64_t batch = 16;
+    for (int e = 0; e < epochs; ++e) {
+        for (int64_t begin = 0; begin < n; begin += batch) {
+            const int64_t end = std::min(n, begin + batch);
+            const JigsawBatch jb =
+                make_jigsaw_batch(raw.slice0(begin, end), perms, rng);
+            jigsaw.train_batch(opt, jb);
+        }
+    }
+    Rng eval_rng(7);
+    return jigsaw.evaluate(raw, perms, eval_rng);
+}
+
+} // namespace insitu::bench

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deployment planner CLI: given a network, an availability
+ * requirement and a latency budget, print the recommended working
+ * mode and device configuration — the paper's §IV decision procedure
+ * as a tool.
+ *
+ * Usage: planner_cli [alexnet|vggnet|googlenet|tinynet]
+ *                    [latency_ms] [always_on(0|1)]
+ * Defaults: alexnet 100 0
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "analytics/planner.h"
+
+using namespace insitu;
+
+namespace {
+
+NetworkDesc
+pick_network(const char* name)
+{
+    if (std::strcmp(name, "vggnet") == 0) return vgg16_desc();
+    if (std::strcmp(name, "googlenet") == 0) return googlenet_desc();
+    if (std::strcmp(name, "tinynet") == 0) return tinynet_desc();
+    return alexnet_desc();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const char* net_name = argc > 1 ? argv[1] : "alexnet";
+    const double latency_s =
+        (argc > 2 ? std::atof(argv[2]) : 100.0) / 1e3;
+    const bool always_on = argc > 3 && std::atoi(argv[3]) != 0;
+    if (latency_s <= 0) {
+        std::fprintf(stderr, "latency must be positive\n");
+        return 1;
+    }
+
+    const NetworkDesc net = pick_network(net_name);
+    const NetworkDesc diag = diagnosis_desc(net);
+    std::printf("network: %s (%.2f GFLOP/inference, %.1f M weights)\n",
+                net.name.c_str(), net.total_ops() / 1e9,
+                net.total_weights() / 1e6);
+    std::printf("latency budget: %.0f ms, inference 24/7: %s\n",
+                latency_s * 1e3, always_on ? "yes" : "no");
+
+    const WorkingMode mode = choose_working_mode(always_on);
+    std::printf("=> recommended mode: %s\n\n",
+                working_mode_name(mode));
+
+    if (mode == WorkingMode::kSingleRunning) {
+        SingleRunningPlanner planner{GpuModel(tx1_spec())};
+        const SingleRunningPlan plan =
+            planner.plan(net, diag, latency_s);
+        std::printf("TX1 (mobile GPU) configuration:\n");
+        std::printf("  inference: batch %lld, latency %.1f ms, "
+                    "%.2f img/s/W\n",
+                    static_cast<long long>(plan.inference_batch),
+                    plan.inference_latency * 1e3,
+                    plan.inference_perf_per_watt);
+        std::printf("  diagnosis: batch %lld (memory-limited, "
+                    "%.0f MB), %.2f img/s/W\n",
+                    static_cast<long long>(plan.diagnosis_batch),
+                    plan.diagnosis_memory_bytes / 1e6,
+                    plan.diagnosis_perf_per_watt);
+        if (plan.inference_latency > latency_s) {
+            std::printf("  warning: even batch 1 misses the budget "
+                        "on this device\n");
+        }
+    } else {
+        CoRunningPlanner planner{FpgaModel(vx690t_spec())};
+        const CoRunningPlan plan = planner.plan(net, latency_s);
+        std::printf("VX690T (FPGA) WSS+NWS configuration:\n");
+        if (!plan.feasible) {
+            std::printf("  infeasible: no WSS configuration meets "
+                        "%.0f ms on this device\n",
+                        latency_s * 1e3);
+            return 1;
+        }
+        std::printf("  WSS group %lld (each 14x14 + 9x7x7 PEs), FCN "
+                    "engine 8x10\n",
+                    static_cast<long long>(plan.config.group_size));
+        std::printf("  FCN batch %lld, latency %.1f ms, %.1f img/s, "
+                    "%.2f img/s/W\n",
+                    static_cast<long long>(plan.config.batch),
+                    plan.latency * 1e3, plan.throughput,
+                    plan.perf_per_watt);
+    }
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * 24/7 video surveillance on an FPGA node (Co-running mode).
+ *
+ * A surveillance deployment cannot pause inference, so the diagnosis
+ * task must co-run. This example shows why the GPU is the wrong
+ * substrate for that (interference), sizes the WSS+NWS pipeline for a
+ * latency SLA with the Co-running planner, and then drives the
+ * cycle-approximate architecture simulator to compare NWS / WS / WSS
+ * on the deployed network.
+ */
+#include <cstdio>
+
+#include "analytics/planner.h"
+#include "fpga/pipeline.h"
+#include "hw/gpu_model.h"
+
+using namespace insitu;
+
+int
+main()
+{
+    std::printf("== 24/7 surveillance node (Co-running mode) ==\n");
+    const NetworkDesc net = alexnet_desc();
+    const double sla = 0.05; // 50 ms per camera frame batch
+
+    std::printf("working mode: %s (inference must be 24/7)\n",
+                working_mode_name(choose_working_mode(true)));
+
+    // Why not just co-run on the mobile GPU? Interference.
+    GpuModel gpu(tx1_spec());
+    const double diag_load =
+        diagnosis_desc(net).total_ops() * 9.0 * 16.0;
+    std::printf("on TX1, co-running a 16-image diagnosis batch "
+                "inflates inference latency %.1fx -> SLA violation\n",
+                gpu.corun_slowdown(net.total_ops(), diag_load));
+
+    // Plan the FPGA pipeline for the SLA.
+    CoRunningPlanner planner{FpgaModel(vx690t_spec())};
+    const CoRunningPlan plan = planner.plan(net, sla);
+    if (!plan.feasible) {
+        std::printf("no feasible WSS configuration for %.0f ms\n",
+                    sla * 1e3);
+        return 1;
+    }
+    std::printf("plan: WSS group %lld x (14x14 + 9x7x7 PEs), FCN "
+                "engine 8x10, batch %lld\n",
+                static_cast<long long>(plan.config.group_size),
+                static_cast<long long>(plan.config.batch));
+    std::printf("      latency %.1f ms, throughput %.1f img/s, "
+                "%.2f img/s/W\n",
+                plan.latency * 1e3, plan.throughput,
+                plan.perf_per_watt);
+
+    // Compare the three architectures at the same PE budget.
+    FpgaArchSim sim(vx690t_spec(), 2628);
+    std::printf("conv stage at 2628 PEs (CONV-3 sharing):\n");
+    for (ArchKind kind :
+         {ArchKind::kNws, ArchKind::kWs, ArchKind::kWss}) {
+        const ConvRunStats stats = sim.run_conv_layers(net, kind, 3);
+        std::printf("  %-3s: %.2f ms compute + %.2f ms weight access "
+                    "= %.2f ms (tile idle %.0f%%)\n",
+                    arch_name(kind), stats.compute_seconds * 1e3,
+                    stats.access_seconds * 1e3,
+                    stats.total_seconds() * 1e3,
+                    stats.idle_fraction * 100);
+    }
+
+    // And the full pipeline under a sweep of SLAs.
+    CorunPipeline pipe(vx690t_spec(), 2628, {8, 10});
+    std::printf("throughput under SLA sweep (img/s):\n");
+    for (double req : {0.05, 0.1, 0.2, 0.4}) {
+        std::printf("  %.0f ms:", req * 1e3);
+        for (PipelineVariant v :
+             {PipelineVariant::kNws, PipelineVariant::kNwsBatch,
+              PipelineVariant::kWs, PipelineVariant::kWssNws}) {
+            const PipelinePlan p = pipe.best_under_latency(net, v, req);
+            if (p.feasible)
+                std::printf("  %s=%.0f", pipeline_variant_name(v),
+                            p.throughput);
+            else
+                std::printf("  %s=x", pipeline_variant_name(v));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

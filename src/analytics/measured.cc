@@ -1,0 +1,72 @@
+#include "analytics/measured.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace insitu {
+
+double
+MeasuredGpu::jitter(const NetworkDesc& net, int64_t batch) const
+{
+    // Hash the network name and batch into a phase; a smooth cosine
+    // keeps the deviation reproducible and bounded.
+    uint64_t h = config_.seed;
+    for (char ch : net.name)
+        h = h * 1099511628211ULL + static_cast<uint64_t>(ch);
+    h = h * 1099511628211ULL + static_cast<uint64_t>(batch);
+    const double phase =
+        static_cast<double>(h % 10007) / 10007.0 * 6.283185307;
+    return 1.0 + config_.noise_amplitude * std::cos(phase);
+}
+
+double
+MeasuredGpu::network_latency(const NetworkDesc& net,
+                             int64_t batch) const
+{
+    double total = 0.0;
+    for (const auto& l : net.layers) {
+        if (l.type == LayerType::kPool) continue;
+        const GpuLayerTiming t = model_.layer_time(l, batch);
+        double seconds = t.seconds + config_.kernel_launch_s;
+        if (l.type == LayerType::kConv)
+            seconds *= 1.0 + config_.im2col_overhead;
+        total += seconds;
+    }
+    return total * jitter(net, batch);
+}
+
+double
+MeasuredGpu::images_per_second(const NetworkDesc& net,
+                               int64_t batch) const
+{
+    return static_cast<double>(batch) / network_latency(net, batch);
+}
+
+double
+MeasuredGpu::perf_per_watt(const NetworkDesc& net, int64_t batch) const
+{
+    return images_per_second(net, batch) /
+           model_.spec().power_watts;
+}
+
+int64_t
+MeasuredGpu::best_batch_by_profiling(const NetworkDesc& net,
+                                     double latency_req,
+                                     int64_t max_batch) const
+{
+    INSITU_CHECK(latency_req > 0, "latency requirement must be > 0");
+    int64_t best = 1;
+    double best_tp = 0.0;
+    for (int64_t b = 1; b <= max_batch; ++b) {
+        if (network_latency(net, b) > latency_req) continue;
+        const double tp = images_per_second(net, b);
+        if (tp > best_tp) {
+            best_tp = tp;
+            best = b;
+        }
+    }
+    return best;
+}
+
+} // namespace insitu

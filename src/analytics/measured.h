@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A "measured" GPU executor standing in for the physical board.
+ *
+ * Fig. 21 compares three configurations of the inference task: the
+ * non-batching default, the batch chosen by the analytical time
+ * model, and the best case found by brute-force profiling of the real
+ * board. For that comparison to be meaningful the measured system
+ * must deviate from the model the way silicon deviates from
+ * first-order analysis. MeasuredGpu wraps GpuModel and adds the
+ * second-order effects the model ignores — per-kernel launch
+ * overhead, the im2col transformation cost, and a deterministic
+ * per-batch perturbation — so brute force can (slightly) beat the
+ * model pick, as it does in the paper.
+ */
+#pragma once
+
+#include "hw/gpu_model.h"
+
+namespace insitu {
+
+/** Deviation knobs of the measured stand-in. */
+struct MeasuredGpuConfig {
+    double kernel_launch_s = 40e-6; ///< per-layer launch latency
+    double im2col_overhead = 0.06;  ///< extra conv time fraction
+    double noise_amplitude = 0.05;  ///< deterministic jitter fraction
+    uint64_t seed = 0x5EED;         ///< jitter phase
+};
+
+/** The stand-in for running a network on the physical GPU. */
+class MeasuredGpu {
+  public:
+    MeasuredGpu(GpuModel model, MeasuredGpuConfig config)
+        : model_(std::move(model)), config_(config)
+    {}
+
+    /** "Measured" end-to-end batch latency. Deterministic. */
+    double network_latency(const NetworkDesc& net, int64_t batch) const;
+
+    /** Measured images/s at the batch. */
+    double images_per_second(const NetworkDesc& net,
+                             int64_t batch) const;
+
+    /** Measured images/s/W. */
+    double perf_per_watt(const NetworkDesc& net, int64_t batch) const;
+
+    /**
+     * Brute-force profiling: try every batch in [1, max_batch] on the
+     * measured board and return the one with the best throughput
+     * whose latency meets @p latency_req (the paper's "best case").
+     */
+    int64_t best_batch_by_profiling(const NetworkDesc& net,
+                                    double latency_req,
+                                    int64_t max_batch = 512) const;
+
+    const GpuModel& model() const { return model_; }
+
+  private:
+    /** Deterministic per-(net, batch) jitter factor near 1. */
+    double jitter(const NetworkDesc& net, int64_t batch) const;
+
+    GpuModel model_;
+    MeasuredGpuConfig config_;
+};
+
+} // namespace insitu

@@ -1,0 +1,62 @@
+#include "cloud/cost_model.h"
+
+#include "util/logging.h"
+
+namespace insitu {
+
+double
+TrainingCostModel::epoch_ops(const NetworkDesc& net, double images,
+                             size_t first_trainable_layer) const
+{
+    INSITU_CHECK(images >= 0, "negative image count");
+    std::vector<LayerDesc> compute_layers;
+    for (const auto& l : net.layers)
+        if (l.type != LayerType::kPool) compute_layers.push_back(l);
+    INSITU_CHECK(first_trainable_layer <= compute_layers.size(),
+                 "first trainable layer out of range");
+
+    double fwd = 0.0, bwd_data = 0.0, bwd_weight = 0.0;
+    for (size_t i = 0; i < compute_layers.size(); ++i) {
+        const double ops = compute_layers[i].ops();
+        fwd += ops;
+        // dL/dX propagates from the loss down to (and including) the
+        // first trainable layer; dL/dW only where weights update.
+        if (i >= first_trainable_layer) {
+            bwd_weight += ops;
+            if (i > first_trainable_layer) bwd_data += ops;
+        }
+    }
+    return (fwd + bwd_data + bwd_weight) * images;
+}
+
+TrainingCost
+TrainingCostModel::train_cost(const NetworkDesc& net, double images,
+                              int epochs,
+                              size_t first_trainable_layer) const
+{
+    INSITU_CHECK(epochs >= 0, "negative epochs");
+    TrainingCost c;
+    c.ops = epoch_ops(net, images, first_trainable_layer) *
+            static_cast<double>(epochs);
+    const double sustained = gpu_.peak_ops() * kTrainingEfficiency;
+    c.seconds = c.ops / sustained;
+    c.energy_j = c.seconds * gpu_.power_watts;
+    return c;
+}
+
+TrainingCost
+TrainingCostModel::diagnosis_cost(const NetworkDesc& diagnosis,
+                                  double images) const
+{
+    TrainingCost c;
+    // Inference only: nine tiles per image are folded into the
+    // descriptor already (diagnosis_desc) or the caller passes the
+    // jigsaw network directly; either way one forward pass per image.
+    c.ops = diagnosis.total_ops() * images;
+    const double sustained = gpu_.peak_ops() * kTrainingEfficiency;
+    c.seconds = c.ops / sustained;
+    c.energy_j = c.seconds * gpu_.power_watts;
+    return c;
+}
+
+} // namespace insitu

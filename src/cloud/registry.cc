@@ -1,0 +1,71 @@
+#include "cloud/registry.h"
+
+#include <sstream>
+
+#include "nn/serialize.h"
+#include "util/logging.h"
+
+namespace insitu {
+
+int64_t
+ModelRegistry::commit(const Network& net, std::string tag,
+                      double validation_accuracy,
+                      int64_t trained_images)
+{
+    std::ostringstream oss(std::ios::binary);
+    save_weights(net, oss);
+    blobs_.push_back(oss.str());
+    ModelVersion v;
+    v.id = static_cast<int64_t>(versions_.size()) + 1;
+    v.tag = std::move(tag);
+    v.validation_accuracy = validation_accuracy;
+    v.trained_images = trained_images;
+    versions_.push_back(v);
+    return v.id;
+}
+
+bool
+ModelRegistry::restore(int64_t id, Network& net) const
+{
+    if (id < 1 || id > static_cast<int64_t>(versions_.size())) {
+        warn("unknown model version " + std::to_string(id));
+        return false;
+    }
+    std::istringstream iss(blobs_[static_cast<size_t>(id - 1)],
+                           std::ios::binary);
+    return load_weights(net, iss);
+}
+
+std::optional<ModelVersion>
+ModelRegistry::best() const
+{
+    std::optional<ModelVersion> out;
+    for (const auto& v : versions_) {
+        if (!out || v.validation_accuracy > out->validation_accuracy)
+            out = v;
+    }
+    return out;
+}
+
+std::optional<ModelVersion>
+ModelRegistry::latest() const
+{
+    if (versions_.empty()) return std::nullopt;
+    return versions_.back();
+}
+
+std::optional<int64_t>
+ModelRegistry::rollback_if_regressed(Network& net, double tolerance)
+{
+    const auto latest_v = latest();
+    const auto best_v = best();
+    if (!latest_v || !best_v) return std::nullopt;
+    if (latest_v->validation_accuracy + tolerance >=
+        best_v->validation_accuracy)
+        return std::nullopt;
+    INSITU_CHECK(restore(best_v->id, net),
+                 "stored snapshot failed to restore");
+    return best_v->id;
+}
+
+} // namespace insitu

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Model registry: versioned snapshots of the cloud's master models.
+ *
+ * Incremental training on autonomous uploads can regress (bad labels,
+ * adversarial drift); a production cloud keeps every deployed version
+ * and rolls back when validation accuracy drops. Snapshots use the
+ * binary weight format of nn/serialize.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace insitu {
+
+/** Metadata of one stored version. */
+struct ModelVersion {
+    int64_t id = 0;
+    std::string tag;            ///< free-form ("stage-3", "rollback")
+    double validation_accuracy = 0.0;
+    int64_t trained_images = 0; ///< cumulative images at snapshot
+};
+
+/** In-memory versioned store of one network's weights. */
+class ModelRegistry {
+  public:
+    /**
+     * Snapshot @p net's current weights.
+     * @return the new version's id (monotonically increasing from 1).
+     */
+    int64_t commit(const Network& net, std::string tag,
+                   double validation_accuracy,
+                   int64_t trained_images);
+
+    /** Restore version @p id into @p net. False if unknown/mismatch. */
+    bool restore(int64_t id, Network& net) const;
+
+    /** Metadata of all versions, oldest first. */
+    const std::vector<ModelVersion>& versions() const
+    {
+        return versions_;
+    }
+
+    /** Highest-validation-accuracy version, if any. */
+    std::optional<ModelVersion> best() const;
+
+    /** Latest version, if any. */
+    std::optional<ModelVersion> latest() const;
+
+    /**
+     * Roll @p net back to the best version if the latest regressed
+     * by more than @p tolerance below the best.
+     * @return the id restored to, or nullopt if no rollback happened.
+     */
+    std::optional<int64_t> rollback_if_regressed(Network& net,
+                                                 double tolerance);
+
+    size_t size() const { return versions_.size(); }
+
+  private:
+    std::vector<ModelVersion> versions_;
+    std::vector<std::string> blobs_; ///< serialized weights per version
+};
+
+} // namespace insitu

@@ -1,0 +1,87 @@
+#include "cloud/update_service.h"
+
+#include <chrono>
+
+#include "nn/trainer.h"
+#include "util/logging.h"
+
+namespace insitu {
+
+ModelUpdateService::ModelUpdateService(TinyConfig config,
+                                       GpuSpec cloud_gpu, uint64_t seed)
+    : config_(config), cost_(std::move(cloud_gpu)), rng_(seed),
+      perms_(config.num_permutations, rng_),
+      jigsaw_(make_tiny_jigsaw(config, rng_)),
+      inference_(make_tiny_inference(config, rng_))
+{}
+
+double
+ModelUpdateService::pretrain(const Tensor& images, int epochs,
+                             int64_t batch_size)
+{
+    INSITU_CHECK(images.rank() == 4, "pretrain expects NCHW images");
+    Sgd opt({.lr = 0.015, .momentum = 0.9});
+    const int64_t n = images.dim(0);
+    for (int e = 0; e < epochs; ++e) {
+        for (int64_t begin = 0; begin < n; begin += batch_size) {
+            const int64_t end = std::min(n, begin + batch_size);
+            const Tensor chunk = images.slice0(begin, end);
+            const JigsawBatch batch =
+                make_jigsaw_batch(chunk, perms_, rng_);
+            jigsaw_.train_batch(opt, batch);
+        }
+    }
+    return evaluate_pretext(images);
+}
+
+void
+ModelUpdateService::transfer_from_pretext(size_t convs)
+{
+    inference_.copy_convs_from(jigsaw_.trunk(), convs);
+}
+
+UpdateReport
+ModelUpdateService::update(const Dataset& data,
+                           const UpdatePolicy& policy)
+{
+    UpdateReport report;
+    report.images = data.size();
+    images_received_ += data.size();
+
+    inference_.unfreeze_all();
+    inference_.freeze_first_convs(policy.frozen_convs);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    Sgd opt({.lr = policy.lr, .momentum = policy.momentum});
+    Rng epoch_rng = rng_.split();
+    const auto stats =
+        train_epochs(inference_, opt, data.images, data.labels,
+                     policy.batch_size, policy.epochs, epoch_rng);
+    const auto t1 = std::chrono::steady_clock::now();
+    inference_.unfreeze_all();
+
+    report.mean_loss = stats.empty() ? 0.0 : stats.back().mean_loss;
+    report.wall_seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    // Price the job at paper scale: the trainable suffix starts after
+    // the frozen conv prefix.
+    report.modeled = cost_.train_cost(
+        tinynet_desc(), static_cast<double>(data.size()),
+        policy.epochs, policy.frozen_convs);
+    return report;
+}
+
+double
+ModelUpdateService::evaluate(const Dataset& data)
+{
+    return evaluate_accuracy(inference_, data.images, data.labels);
+}
+
+double
+ModelUpdateService::evaluate_pretext(const Tensor& images)
+{
+    Rng eval_rng(42);
+    return jigsaw_.evaluate(images, perms_, eval_rng);
+}
+
+} // namespace insitu

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The cloud side of the In-situ AI loop (Fig. 4, right).
+ *
+ * Owns the master copies of the unsupervised (jigsaw) network and the
+ * inference network, performs unsupervised pre-training on raw
+ * uploads, the transfer-learning surgery, and incremental supervised
+ * updates; every job is also priced through the TrainingCostModel at
+ * paper scale so system-level comparisons (Fig. 25) can report energy
+ * and model-update time.
+ */
+#pragma once
+
+#include "cloud/cost_model.h"
+#include "data/synth.h"
+#include "models/tiny.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace insitu {
+
+/** Knobs of one incremental update job. */
+struct UpdatePolicy {
+    /// Conv layers kept frozen during the update (the weight-shared
+    /// prefix). 0 = full retrain.
+    size_t frozen_convs = 0;
+    int epochs = 2;
+    double lr = 0.01;
+    double momentum = 0.9;
+    int64_t batch_size = 32;
+};
+
+/** Outcome of one update job. */
+struct UpdateReport {
+    int64_t images = 0;
+    double mean_loss = 0;
+    double wall_seconds = 0;   ///< actual CPU time spent here
+    TrainingCost modeled;      ///< cost at paper scale on the cloud GPU
+};
+
+/** Cloud training/update service over the TinyNet family. */
+class ModelUpdateService {
+  public:
+    /**
+     * @param config TinyNet dimensions.
+     * @param cloud_gpu the training device (for cost accounting).
+     * @param seed reproducibility seed.
+     */
+    ModelUpdateService(TinyConfig config, GpuSpec cloud_gpu,
+                       uint64_t seed);
+
+    /**
+     * Unsupervised pre-training on unlabeled images (jigsaw pretext).
+     * @return pretext accuracy after training.
+     */
+    double pretrain(const Tensor& images, int epochs,
+                    int64_t batch_size = 16);
+
+    /**
+     * Transfer learning (Fig. 4): copy the first @p convs conv layers
+     * of the pretext trunk into the inference network.
+     */
+    void transfer_from_pretext(size_t convs);
+
+    /** Supervised (incremental) update of the inference network. */
+    UpdateReport update(const Dataset& data, const UpdatePolicy& policy);
+
+    /** Inference accuracy on a labeled dataset. */
+    double evaluate(const Dataset& data);
+
+    /** Pretext accuracy on unlabeled images. */
+    double evaluate_pretext(const Tensor& images);
+
+    Network& inference() { return inference_; }
+    const Network& inference() const { return inference_; }
+    JigsawNetwork& jigsaw() { return jigsaw_; }
+    const JigsawNetwork& jigsaw() const { return jigsaw_; }
+    const PermutationSet& permutations() const { return perms_; }
+    const TinyConfig& config() const { return config_; }
+    const TrainingCostModel& cost_model() const { return cost_; }
+
+    /** Total labeled images consumed by update() so far. */
+    int64_t images_received() const { return images_received_; }
+
+  private:
+    TinyConfig config_;
+    TrainingCostModel cost_;
+    Rng rng_;
+    PermutationSet perms_;
+    JigsawNetwork jigsaw_;
+    Network inference_;
+    int64_t images_received_ = 0;
+};
+
+} // namespace insitu

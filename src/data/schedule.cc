@@ -1,0 +1,31 @@
+#include "data/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace insitu {
+
+double
+EnvironmentSchedule::severity_at_hours(double hours) const
+{
+    const double day_phase =
+        std::fmod(hours - darkest_hour, 24.0) / 24.0 * 2.0 *
+        3.141592653589793;
+    // Cosine peaking at the darkest hour.
+    const double nightness = 0.5 * (1.0 + std::cos(day_phase));
+    const double drift = drift_per_day * hours / 24.0;
+    return std::clamp(
+        base_severity + night_amplitude * nightness + drift, 0.0,
+        1.0);
+}
+
+Condition
+EnvironmentSchedule::at_hours(double hours) const
+{
+    Condition c = Condition::in_situ(severity_at_hours(hours));
+    c.name = "hour-" + std::to_string(hours).substr(0, 6);
+    return c;
+}
+
+} // namespace insitu

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Periodic environment schedules (day/night, seasonal drift).
+ *
+ * Real camera traps see conditions that oscillate daily and drift
+ * seasonally; this generator produces the Condition at any simulated
+ * hour so long-horizon studies (duty cycles, staleness) can sample a
+ * continuous environment instead of discrete stages.
+ */
+#pragma once
+
+#include "data/condition.h"
+
+namespace insitu {
+
+/** Parameters of the periodic + drifting environment. */
+struct EnvironmentSchedule {
+    /// Base severity at deployment time (in_situ scale, [0, 1]).
+    double base_severity = 0.2;
+    /// Extra severity at the darkest point of the night.
+    double night_amplitude = 0.4;
+    /// Hour of the darkest point (0-24).
+    double darkest_hour = 2.0;
+    /// Seasonal drift in severity per day.
+    double drift_per_day = 0.002;
+
+    /**
+     * Condition at absolute simulation time @p hours since
+     * deployment (day = hours / 24).
+     */
+    Condition at_hours(double hours) const;
+
+    /** Severity component only (clamped to [0, 1]). */
+    double severity_at_hours(double hours) const;
+};
+
+} // namespace insitu

@@ -1,0 +1,222 @@
+#include "data/synth.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace insitu {
+
+namespace {
+
+const std::array<std::string, kMaxClasses> kClassNames = {
+    "circle", "square",  "triangle", "plus",    "ring",
+    "diamond", "hstripe", "vstripe",  "checker", "cross",
+};
+
+/** Base RGB color per class (the "species coat"). */
+const std::array<std::array<float, 3>, kMaxClasses> kClassColors = {{
+    {0.90f, 0.35f, 0.30f},
+    {0.30f, 0.75f, 0.35f},
+    {0.30f, 0.45f, 0.90f},
+    {0.90f, 0.80f, 0.25f},
+    {0.80f, 0.35f, 0.85f},
+    {0.30f, 0.85f, 0.85f},
+    {0.95f, 0.60f, 0.25f},
+    {0.55f, 0.40f, 0.85f},
+    {0.70f, 0.85f, 0.35f},
+    {0.90f, 0.50f, 0.65f},
+}};
+
+/** Implicit membership of normalized point (u, v) in shape @p cls. */
+bool
+inside_shape(int cls, double u, double v)
+{
+    const double au = std::abs(u), av = std::abs(v);
+    switch (cls) {
+      case 0: // circle
+        return u * u + v * v < 1.0;
+      case 1: // square
+        return std::max(au, av) < 0.85;
+      case 2: // triangle (apex up)
+        return v > -0.9 && v < 0.9 && au < (0.9 - v) * 0.55;
+      case 3: // plus
+        return (au < 0.3 && av < 1.0) || (av < 0.3 && au < 1.0);
+      case 4: { // ring
+        const double r = std::sqrt(u * u + v * v);
+        return r > 0.55 && r < 1.0;
+      }
+      case 5: // diamond
+        return au + av < 1.0;
+      case 6: // horizontal stripes
+        return std::max(au, av) < 1.0 &&
+               (static_cast<int>(std::floor((v + 1.0) * 2.5)) % 2) == 0;
+      case 7: // vertical stripes
+        return std::max(au, av) < 1.0 &&
+               (static_cast<int>(std::floor((u + 1.0) * 2.5)) % 2) == 0;
+      case 8: // checkerboard
+        return std::max(au, av) < 1.0 &&
+               ((static_cast<int>(std::floor((u + 1.0) * 2.0)) +
+                 static_cast<int>(std::floor((v + 1.0) * 2.0))) %
+                2) == 0;
+      case 9: // diagonal cross
+        return std::max(au, av) < 1.0 && std::abs(au - av) < 0.3;
+      default:
+        panic("unknown class id " + std::to_string(cls));
+    }
+}
+
+} // namespace
+
+const std::string&
+class_name(int class_id)
+{
+    INSITU_CHECK(class_id >= 0 && class_id < kMaxClasses,
+                 "class id out of range");
+    return kClassNames[static_cast<size_t>(class_id)];
+}
+
+Tensor
+render_image(const SynthConfig& config, int class_id,
+             const Condition& cond, Rng& rng)
+{
+    INSITU_CHECK(class_id >= 0 && class_id < config.num_classes &&
+                     config.num_classes <= kMaxClasses,
+                 "invalid class id");
+    INSITU_CHECK(config.channels == 3, "renderer expects RGB");
+    const int64_t size = config.image_size;
+    Tensor img({config.channels, size, size});
+
+    // Background: per-image gray level with a soft diagonal gradient.
+    const float bg = rng.uniform_f(0.15f, 0.35f);
+    const float grad = rng.uniform_f(-0.08f, 0.08f);
+
+    // Subject placement from the condition's pose model.
+    const double jitter = cond.position_jitter * static_cast<double>(size);
+    const double cx = size / 2.0 + rng.uniform(-jitter, jitter);
+    const double cy = size / 2.0 + rng.uniform(-jitter, jitter);
+    const double scale = rng.uniform(cond.scale_min, cond.scale_max);
+    const double radius = 0.36 * static_cast<double>(size) * scale;
+
+    // Per-image color jitter around the class coat color.
+    std::array<float, 3> color;
+    for (int c = 0; c < 3; ++c)
+        color[static_cast<size_t>(c)] =
+            std::clamp(kClassColors[static_cast<size_t>(class_id)]
+                                   [static_cast<size_t>(c)] +
+                           rng.uniform_f(-0.08f, 0.08f),
+                       0.0f, 1.0f);
+
+    float* p = img.data();
+    for (int64_t y = 0; y < size; ++y) {
+        for (int64_t x = 0; x < size; ++x) {
+            const double u = (static_cast<double>(x) - cx) / radius;
+            const double v = (static_cast<double>(y) - cy) / radius;
+            const bool hit = inside_shape(class_id, u, v);
+            const float base =
+                bg + grad * static_cast<float>(x + y) /
+                         static_cast<float>(2 * size);
+            for (int64_t c = 0; c < 3; ++c) {
+                p[(c * size + y) * size + x] =
+                    hit ? color[static_cast<size_t>(c)] : base;
+            }
+        }
+    }
+
+    // Occluder: a background-colored rectangle over part of the frame
+    // (animal too close to the lens / foliage in front of it).
+    if (rng.bernoulli(cond.occlusion_prob)) {
+        const int64_t max_span = std::max<int64_t>(
+            2, static_cast<int64_t>(cond.occlusion_size *
+                                    static_cast<double>(size)));
+        const int64_t ow = rng.uniform_int(max_span / 2, max_span);
+        const int64_t oh = rng.uniform_int(max_span / 2, max_span);
+        const int64_t ox = rng.uniform_int(0, size - ow);
+        const int64_t oy = rng.uniform_int(0, size - oh);
+        const float occ = rng.uniform_f(0.05f, 0.25f);
+        for (int64_t c = 0; c < 3; ++c)
+            for (int64_t y = oy; y < oy + oh; ++y)
+                for (int64_t x = ox; x < ox + ow; ++x)
+                    p[(c * size + y) * size + x] = occ;
+    }
+
+    // Photometric pipeline: contrast about mid-gray, illumination,
+    // sensor noise, clamp.
+    for (int64_t i = 0; i < img.numel(); ++i) {
+        double value = (static_cast<double>(p[i]) - 0.5) *
+                           cond.contrast +
+                       0.5;
+        value *= cond.brightness;
+        value += rng.normal(0.0, cond.noise_std);
+        p[i] = static_cast<float>(std::clamp(value, 0.0, 1.0));
+    }
+    return img;
+}
+
+Dataset
+make_dataset(const SynthConfig& config, int64_t n,
+             const Condition& cond, Rng& rng)
+{
+    INSITU_CHECK(n >= 0, "negative dataset size");
+    Dataset d;
+    d.condition = cond;
+    d.images = Tensor({n, config.channels, config.image_size,
+                       config.image_size});
+    d.labels.resize(static_cast<size_t>(n));
+    const int64_t elems =
+        config.channels * config.image_size * config.image_size;
+    for (int64_t i = 0; i < n; ++i) {
+        const int cls = static_cast<int>(
+            rng.next_below(static_cast<uint64_t>(config.num_classes)));
+        d.labels[static_cast<size_t>(i)] = cls;
+        const Tensor img = render_image(config, cls, cond, rng);
+        std::copy(img.data(), img.data() + elems,
+                  d.images.data() + i * elems);
+    }
+    return d;
+}
+
+Dataset
+concat_datasets(const std::vector<const Dataset*>& parts)
+{
+    INSITU_CHECK(!parts.empty(), "concat of nothing");
+    int64_t total = 0;
+    for (const auto* p : parts) total += p->size();
+    Dataset out;
+    out.condition = parts.front()->condition;
+    std::vector<int64_t> shape = parts.front()->images.shape();
+    shape[0] = total;
+    out.images = Tensor(shape);
+    out.labels.reserve(static_cast<size_t>(total));
+    int64_t offset = 0;
+    const int64_t inner =
+        parts.front()->images.numel() /
+        std::max<int64_t>(parts.front()->size(), 1);
+    for (const auto* p : parts) {
+        INSITU_CHECK(p->size() == 0 ||
+                         p->images.numel() / p->size() == inner,
+                     "concat of differently shaped datasets");
+        std::copy(p->images.data(),
+                  p->images.data() + p->images.numel(),
+                  out.images.data() + offset * inner);
+        out.labels.insert(out.labels.end(), p->labels.begin(),
+                          p->labels.end());
+        offset += p->size();
+    }
+    return out;
+}
+
+Dataset
+dataset_slice(const Dataset& d, int64_t begin, int64_t end)
+{
+    Dataset out;
+    out.condition = d.condition;
+    out.images = d.images.slice0(begin, end);
+    out.labels.assign(d.labels.begin() + static_cast<size_t>(begin),
+                      d.labels.begin() + static_cast<size_t>(end));
+    return out;
+}
+
+} // namespace insitu

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Synthetic "camera-trap" image generator.
+ *
+ * Stands in for ImageNet / Snapshot Serengeti: each class is a
+ * parametric shape (the "species") rendered in RGB on a textured
+ * background, with per-image color, pose and scale variation, then
+ * distorted by the acquisition Condition. The distribution shift
+ * between Condition::ideal() and Condition::in_situ(s) reproduces the
+ * accuracy-drop phenomenon of Table I at laptop scale.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/condition.h"
+#include "tensor/tensor.h"
+
+namespace insitu {
+
+class Rng;
+
+/** Generator configuration. */
+struct SynthConfig {
+    int64_t image_size = 24; ///< square, must be divisible by 3
+    int64_t channels = 3;
+    int num_classes = 10;    ///< up to kMaxClasses
+};
+
+/** Upper bound on distinct shape classes the renderer knows. */
+constexpr int kMaxClasses = 10;
+
+/** Class names for reports ("species" of the synthetic sanctuary). */
+const std::string& class_name(int class_id);
+
+/**
+ * Render one image of @p class_id under @p cond.
+ * @return (channels, size, size) tensor with values in [0, 1].
+ */
+Tensor render_image(const SynthConfig& config, int class_id,
+                    const Condition& cond, Rng& rng);
+
+/** A labeled image set with its generation metadata. */
+struct Dataset {
+    Tensor images; ///< (N, C, H, W)
+    std::vector<int64_t> labels;
+    Condition condition;
+
+    int64_t size() const { return images.empty() ? 0 : images.dim(0); }
+};
+
+/**
+ * Render @p n images with uniformly distributed class labels.
+ */
+Dataset make_dataset(const SynthConfig& config, int64_t n,
+                     const Condition& cond, Rng& rng);
+
+/** Concatenate datasets (conditions may differ; first one is kept). */
+Dataset concat_datasets(const std::vector<const Dataset*>& parts);
+
+/** Take rows [begin, end) of a dataset. */
+Dataset dataset_slice(const Dataset& d, int64_t begin, int64_t end);
+
+} // namespace insitu

@@ -1,0 +1,125 @@
+#include "fpga/pipeline.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace insitu {
+
+const char*
+pipeline_variant_name(PipelineVariant variant)
+{
+    switch (variant) {
+      case PipelineVariant::kNws: return "NWS";
+      case PipelineVariant::kNwsBatch: return "NWS-batch";
+      case PipelineVariant::kWs: return "WS";
+      case PipelineVariant::kWssNws: return "WSS-NWS";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Conv architecture used by each variant. */
+ArchKind
+conv_arch(PipelineVariant variant)
+{
+    switch (variant) {
+      case PipelineVariant::kNws:
+      case PipelineVariant::kNwsBatch:
+        return ArchKind::kNws;
+      case PipelineVariant::kWs:
+        return ArchKind::kWs;
+      case PipelineVariant::kWssNws:
+        return ArchKind::kWss;
+    }
+    return ArchKind::kNws;
+}
+
+/** Conv layers shared between inference and diagnosis weights. */
+size_t
+shared_layers(PipelineVariant variant, const NetworkDesc& net)
+{
+    // NWS shares nothing by definition; WS and WSS use the paper's
+    // CONV-3 strategy.
+    if (conv_arch(variant) == ArchKind::kNws) return 0;
+    return std::min<size_t>(3, net.conv_layers().size());
+}
+
+/** Whether the FCN stage reuses weights across the batch (Fig. 13). */
+bool
+fcn_batch_reuse(PipelineVariant variant)
+{
+    return variant != PipelineVariant::kNws;
+}
+
+} // namespace
+
+CorunPipeline::CorunPipeline(FpgaSpec spec, int64_t conv_pes,
+                             EngineUnroll fcn_engine)
+    : spec_(spec), sim_(spec, conv_pes), fcn_engine_(fcn_engine)
+{
+    INSITU_CHECK(fcn_engine_.tn > 0 && fcn_engine_.tm > 0,
+                 "invalid FCN engine");
+}
+
+double
+CorunPipeline::conv_time_per_image(const NetworkDesc& net,
+                                   PipelineVariant variant) const
+{
+    // Steady-state pipeline regime: weights stay cached across the
+    // image's engine passes (Fig. 20), unlike the load-then-compute
+    // measurement of Fig. 22.
+    const ConvRunStats stats = sim_.run_conv_layers(
+        net, conv_arch(variant), shared_layers(variant, net),
+        /*tile_weight_cache=*/true);
+    return stats.total_seconds();
+}
+
+double
+CorunPipeline::fcn_stage_time(const NetworkDesc& net,
+                              PipelineVariant variant,
+                              int64_t batch) const
+{
+    // The NWS engine serves both buffers (Fig. 19): the inference FCN
+    // layers and the diagnosis (jigsaw) head.
+    FpgaModel model(spec_);
+    const bool reuse = fcn_batch_reuse(variant);
+    return model.all_fcn_time(net, fcn_engine_, batch, reuse) +
+           model.all_fcn_time(jigsaw_head_desc(), fcn_engine_, batch,
+                              reuse);
+}
+
+double
+CorunPipeline::period(const NetworkDesc& net, PipelineVariant variant,
+                      int64_t batch) const
+{
+    const double conv = conv_time_per_image(net, variant) *
+                        static_cast<double>(batch);
+    const double fcn = fcn_stage_time(net, variant, batch);
+    return std::max(conv, fcn);
+}
+
+PipelinePlan
+CorunPipeline::best_under_latency(const NetworkDesc& net,
+                                  PipelineVariant variant,
+                                  double latency_req,
+                                  int64_t max_batch) const
+{
+    PipelinePlan best;
+    for (int64_t b = 1; b <= max_batch; ++b) {
+        const double p = period(net, variant, b);
+        const double latency = 2.0 * p;
+        if (latency > latency_req) break; // latency rises with batch
+        const double throughput = static_cast<double>(b) / p;
+        if (!best.feasible || throughput > best.throughput) {
+            best.feasible = true;
+            best.batch = b;
+            best.latency = latency;
+            best.throughput = throughput;
+        }
+    }
+    return best;
+}
+
+} // namespace insitu

@@ -1,0 +1,163 @@
+#include "hw/fpga_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace insitu {
+
+namespace {
+
+double
+ceil_div(double a, double b)
+{
+    return std::ceil(a / b);
+}
+
+} // namespace
+
+double
+FpgaModel::utilization(const LayerDesc& layer,
+                       const EngineUnroll& unroll)
+{
+    INSITU_CHECK(unroll.tn > 0 && unroll.tm > 0, "invalid unroll");
+    const double n = static_cast<double>(layer.n);
+    const double m = static_cast<double>(layer.m);
+    const double tn = static_cast<double>(unroll.tn);
+    const double tm = static_cast<double>(unroll.tm);
+    // Eq (4).
+    return (n * m) /
+           (tn * tm * ceil_div(n, tn) * ceil_div(m, tm));
+}
+
+double
+FpgaModel::conv_time_unrolled(const LayerDesc& layer,
+                              const EngineUnroll& unroll) const
+{
+    const double cycles =
+        static_cast<double>(layer.k) * static_cast<double>(layer.k) *
+        static_cast<double>(layer.r) * static_cast<double>(layer.c) *
+        ceil_div(static_cast<double>(layer.n),
+                 static_cast<double>(unroll.tn)) *
+        ceil_div(static_cast<double>(layer.m),
+                 static_cast<double>(unroll.tm));
+    return cycles / spec_.freq_hz;
+}
+
+double
+FpgaModel::conv_time_wss(const LayerDesc& layer,
+                         const WssConfig& config) const
+{
+    INSITU_CHECK(config.tr > 0 && config.tc > 0 &&
+                     config.group_size > 0,
+                 "invalid WSS config");
+    // Eq (11): the group computes group_size output maps in parallel;
+    // each WSS engine needs N * K^2 cycles per Tr x Tc output tile.
+    const double cycles =
+        ceil_div(static_cast<double>(layer.m),
+                 static_cast<double>(config.group_size)) *
+        static_cast<double>(layer.n) * static_cast<double>(layer.k) *
+        static_cast<double>(layer.k) *
+        ceil_div(static_cast<double>(layer.r),
+                 static_cast<double>(config.tr)) *
+        ceil_div(static_cast<double>(layer.c),
+                 static_cast<double>(config.tc));
+    return cycles / spec_.freq_hz;
+}
+
+double
+FpgaModel::fcn_time(const LayerDesc& layer, const EngineUnroll& unroll,
+                    int64_t batch, bool batch_shares_weights) const
+{
+    INSITU_CHECK(batch > 0, "batch must be positive");
+    const double b = static_cast<double>(batch);
+    const double compute_cycles =
+        ceil_div(static_cast<double>(layer.n),
+                 static_cast<double>(unroll.tn)) *
+        ceil_div(static_cast<double>(layer.m),
+                 static_cast<double>(unroll.tm)) *
+        b;
+    const double t_comp = compute_cycles / spec_.freq_hz;
+    const double weight_fetches = batch_shares_weights ? 1.0 : b;
+    const double bytes = 4.0 * (layer.weight_count() * weight_fetches +
+                                layer.input_count() * b +
+                                layer.output_count() * b);
+    const double t_mem = bytes / spec_.mem_bandwidth;
+    // Eq (12).
+    return std::max(t_comp, t_mem);
+}
+
+double
+FpgaModel::all_conv_time_wss(const NetworkDesc& net,
+                             const WssConfig& config) const
+{
+    double total = 0.0;
+    for (const auto& l : net.conv_layers())
+        total += conv_time_wss(l, config);
+    return total;
+}
+
+double
+FpgaModel::all_fcn_time(const NetworkDesc& net,
+                        const EngineUnroll& unroll, int64_t batch,
+                        bool batch_shares_weights) const
+{
+    double total = 0.0;
+    for (const auto& l : net.fcn_layers())
+        total += fcn_time(l, unroll, batch, batch_shares_weights);
+    return total;
+}
+
+int64_t
+FpgaModel::dsp_per_wss(const WssConfig& config)
+{
+    const int64_t tile_tr = std::max<int64_t>(1, config.tr / 2);
+    const int64_t tile_tc = std::max<int64_t>(1, config.tc / 2);
+    return config.tr * config.tc + 9 * tile_tr * tile_tc;
+}
+
+bool
+FpgaModel::fits_dsp(const WssConfig& config) const
+{
+    // Eq (10).
+    const int64_t total = config.group_size * dsp_per_wss(config) +
+                          config.nws.tn * config.nws.tm;
+    return total <= spec_.dsp_slices;
+}
+
+double
+FpgaModel::pipeline_period(const NetworkDesc& net,
+                           const WssConfig& config) const
+{
+    const double conv = all_conv_time_wss(net, config) *
+                        static_cast<double>(config.batch);
+    const double fcn = all_fcn_time(net, config.nws, config.batch,
+                                    /*batch_shares_weights=*/true);
+    // Eq (13) without the leading 2 (that is the latency, below).
+    return std::max(conv, fcn);
+}
+
+double
+FpgaModel::pipeline_latency(const NetworkDesc& net,
+                            const WssConfig& config) const
+{
+    return 2.0 * pipeline_period(net, config);
+}
+
+double
+FpgaModel::pipeline_throughput(const NetworkDesc& net,
+                               const WssConfig& config) const
+{
+    return static_cast<double>(config.batch) /
+           pipeline_period(net, config);
+}
+
+double
+FpgaModel::perf_per_watt(const NetworkDesc& net,
+                         const WssConfig& config) const
+{
+    return pipeline_throughput(net, config) / spec_.power_watts;
+}
+
+} // namespace insitu

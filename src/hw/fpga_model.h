@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Analytical FPGA performance model (§IV-A1b, §IV-B2).
+ *
+ * Implements Eq (4) (resource utilization of a Tn x Tm input-unrolled
+ * conv engine), Eq (11) (WSS conv-layer time with output-neuron
+ * unrolling), Eq (12) (FCN time as max of compute and memory), and
+ * Eqs (10), (13), (14) (DSP budget, pipeline period and the latency
+ * constraint) used by the Co-running planner.
+ */
+#pragma once
+
+#include "hw/spec.h"
+#include "models/descriptor.h"
+
+namespace insitu {
+
+/** Unroll factors of a classic input-unrolled conv engine (Fig. 10). */
+struct EngineUnroll {
+    int64_t tn = 1; ///< input feature maps processed in parallel
+    int64_t tm = 1; ///< output feature maps processed in parallel
+};
+
+/** Configuration of the two-level weight-shared design (Fig. 18/19). */
+struct WssConfig {
+    int64_t tr = 14;        ///< output rows unrolled per WSS engine
+    int64_t tc = 14;        ///< output cols unrolled per WSS engine
+    int64_t group_size = 4; ///< number of WSS units in the WSS Group
+    EngineUnroll nws;       ///< the FCN (NWS) engine unroll
+    int64_t batch = 1;      ///< FCN batch Bsize (Fig. 20)
+};
+
+/** Analytical model of one FPGA device. */
+class FpgaModel {
+  public:
+    explicit FpgaModel(FpgaSpec spec) : spec_(std::move(spec)) {}
+
+    const FpgaSpec& spec() const { return spec_; }
+
+    /** Eq (4): utilization of a Tn x Tm engine on layer dims N, M. */
+    static double utilization(const LayerDesc& layer,
+                              const EngineUnroll& unroll);
+
+    /**
+     * Conv-layer time on an input-unrolled engine:
+     * cycles = K^2 * R * C * ceil(N/Tn) * ceil(M/Tm).
+     */
+    double conv_time_unrolled(const LayerDesc& layer,
+                              const EngineUnroll& unroll) const;
+
+    /** Eq (11): conv-layer time on the WSS Group. */
+    double conv_time_wss(const LayerDesc& layer,
+                         const WssConfig& config) const;
+
+    /**
+     * Eq (12): FCN-layer time for a batch; compute roof
+     * ceil(N/Tn)*ceil(M/Tm)*B cycles vs memory roof bytes/MBW.
+     * @param batch_shares_weights apply the batch loop of Fig. 13 so
+     *        weights stream once per batch instead of once per sample.
+     */
+    double fcn_time(const LayerDesc& layer, const EngineUnroll& unroll,
+                    int64_t batch, bool batch_shares_weights) const;
+
+    /** Sum of WSS conv times over all conv layers (one image). */
+    double all_conv_time_wss(const NetworkDesc& net,
+                             const WssConfig& config) const;
+
+    /** Sum of FCN times over all FCN layers (whole batch). */
+    double all_fcn_time(const NetworkDesc& net,
+                        const EngineUnroll& unroll, int64_t batch,
+                        bool batch_shares_weights) const;
+
+    /** DSP slices consumed by one WSS unit: inference Tr x Tc plus
+     * nine tile engines at (Tr/2) x (Tc/2) (the 4:1 split, Fig. 18).
+     */
+    static int64_t dsp_per_wss(const WssConfig& config);
+
+    /** Eq (10): does the configuration fit the DSP budget? */
+    bool fits_dsp(const WssConfig& config) const;
+
+    /**
+     * Eq (13): pipeline stage period — the WSS stage processes Bsize
+     * images while the NWS stage runs one FCN batch.
+     */
+    double pipeline_period(const NetworkDesc& net,
+                           const WssConfig& config) const;
+
+    /** Batch latency through the two-stage pipeline (2 * period). */
+    double pipeline_latency(const NetworkDesc& net,
+                            const WssConfig& config) const;
+
+    /** Steady-state throughput in images/s. */
+    double pipeline_throughput(const NetworkDesc& net,
+                               const WssConfig& config) const;
+
+    /** Energy-efficiency in images/s/W of the pipeline. */
+    double perf_per_watt(const NetworkDesc& net,
+                         const WssConfig& config) const;
+
+  private:
+    FpgaSpec spec_;
+};
+
+} // namespace insitu

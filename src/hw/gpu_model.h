@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Analytical GPU performance/energy model (§IV-A, §IV-B1).
+ *
+ * Implements the paper's equations directly:
+ *  - Eq (2) Gridsize of the im2col/GEMM lowering,
+ *  - Eq (3) GPU resource utilization,
+ *  - Eq (5) CONV-layer runtime,
+ *  - Eq (6) roofline-limited achieved performance,
+ *  - Eq (7) maxOPS, Eq (8) compute-to-memory ratio of FCN layers,
+ *  - Eq (9) memory resource constraint,
+ * plus a calibrated co-running interference model reproducing the
+ * up-to-3x inference slowdown of Fig. 16.
+ */
+#pragma once
+
+#include "hw/spec.h"
+#include "models/descriptor.h"
+
+namespace insitu {
+
+/** Timing result for one layer at one batch size. */
+struct GpuLayerTiming {
+    double seconds = 0;      ///< wall time of the whole batch
+    double utilization = 0;  ///< Eq (3)
+    double achieved_ops = 0; ///< ops/s actually delivered
+    bool memory_bound = false;
+};
+
+/** Analytical model of one GPU device. */
+class GpuModel {
+  public:
+    explicit GpuModel(GpuSpec spec) : spec_(std::move(spec)) {}
+
+    const GpuSpec& spec() const { return spec_; }
+
+    /** Eq (2): thread blocks needed for the layer's output matrix. */
+    double grid_size(const LayerDesc& layer, int64_t batch) const;
+
+    /** Eq (3): fraction of compute capacity kept busy. */
+    double utilization(const LayerDesc& layer, int64_t batch) const;
+
+    /** Eq (5) with the Eq (6) roofline: one layer, whole batch. */
+    GpuLayerTiming layer_time(const LayerDesc& layer, int64_t batch,
+                              bool batch_shares_weights = true) const;
+
+    /** Sum of conv-layer times for one batch. */
+    double conv_latency(const NetworkDesc& net, int64_t batch) const;
+
+    /** Sum of FCN-layer times for one batch. */
+    double fcn_latency(const NetworkDesc& net, int64_t batch,
+                       bool batch_shares_weights = true) const;
+
+    /** End-to-end batch latency (conv + fcn). */
+    double network_latency(const NetworkDesc& net, int64_t batch) const;
+
+    /** Steady-state throughput in images/s at the given batch. */
+    double images_per_second(const NetworkDesc& net,
+                             int64_t batch) const;
+
+    /** Energy-efficiency metric of Fig. 11/14: images/s/W. */
+    double perf_per_watt(const NetworkDesc& net, int64_t batch) const;
+
+    /** Joules consumed per processed image at the given batch. */
+    double energy_per_image(const NetworkDesc& net,
+                            int64_t batch) const;
+
+    /** Eq (9): bytes of device memory the run needs. */
+    double memory_required(const NetworkDesc& net, int64_t batch) const;
+
+    /** Largest batch that satisfies Eq (9); at least 1. */
+    int64_t max_batch_for_memory(const NetworkDesc& net,
+                                 int64_t limit = 4096) const;
+
+    /**
+     * Inference-latency inflation when a diagnosis workload co-runs
+     * on the same GPU (Fig. 16). The two kernels' thread blocks
+     * contend for the same SMs; the slowdown grows with the
+     * co-runner's share of outstanding work and saturates at ~3x,
+     * matching the paper's measurement.
+     *
+     * @param inference_ops ops outstanding per inference batch.
+     * @param diagnosis_ops ops outstanding per co-running diagnosis
+     *        batch (0 = no co-runner).
+     */
+    double corun_slowdown(double inference_ops,
+                          double diagnosis_ops) const;
+
+  private:
+    GpuSpec spec_;
+};
+
+} // namespace insitu

@@ -1,0 +1,85 @@
+#include "hw/spec.h"
+
+namespace insitu {
+
+GpuSpec
+tx1_spec()
+{
+    GpuSpec s;
+    s.name = "TX1";
+    s.freq_hz = 998e6;
+    s.cuda_cores = 256;
+    // 2 Maxwell SMs x 16 resident blocks each.
+    s.max_blocks = 32;
+    s.mem_bandwidth = 25.6e9;
+    // 4 GB shared with the CPU; ~3 GB usable by CUDA.
+    s.mem_capacity = 3.0e9;
+    s.power_watts = 10.0;
+    s.idle_watts = 1.5;
+    s.tile_m = 64;
+    s.tile_n = 64;
+    return s;
+}
+
+GpuSpec
+titan_x_spec()
+{
+    GpuSpec s;
+    s.name = "TitanX";
+    s.freq_hz = 1075e6;
+    s.cuda_cores = 3072;
+    // 24 SMs x 16 resident blocks.
+    s.max_blocks = 384;
+    s.mem_bandwidth = 336e9;
+    s.mem_capacity = 12.0e9;
+    s.power_watts = 250.0;
+    s.idle_watts = 15.0;
+    s.tile_m = 64;
+    s.tile_n = 64;
+    return s;
+}
+
+FpgaSpec
+vx690t_spec()
+{
+    FpgaSpec s;
+    s.name = "VX690T";
+    s.freq_hz = 150e6;
+    s.dsp_slices = 3600;
+    s.mem_bandwidth = 12.8e9; // DDR3-1600 x 64-bit
+    s.bram_bytes = 6.6e6;     // 52.9 Mb block RAM
+    s.power_watts = 25.0;
+    s.idle_watts = 5.0;
+    return s;
+}
+
+LinkSpec
+iot_uplink_spec()
+{
+    LinkSpec l;
+    l.name = "lte-uplink";
+    l.bandwidth_bps = 5e6;       // 5 Mb/s sustained upstream
+    l.energy_per_byte = 2e-6;    // ~2 uJ/B radio energy
+    l.latency_s = 0.05;
+    return l;
+}
+
+LinkSpec
+lan_uplink_spec()
+{
+    LinkSpec l;
+    l.name = "lan-uplink";
+    l.bandwidth_bps = 100e6;
+    l.energy_per_byte = 0.2e-6;
+    l.latency_s = 0.005;
+    return l;
+}
+
+double
+bytes_per_image()
+{
+    // 224x224 RGB frame with ~10:1 JPEG compression.
+    return 224.0 * 224.0 * 3.0 / 10.0;
+}
+
+} // namespace insitu

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Device specification catalog for the analytical hardware models.
+ *
+ * The paper characterizes In-situ AI tasks on an NVIDIA TX1 mobile
+ * GPU and a Xilinx Virtex-7 VX690T FPGA, trains in the cloud on a
+ * Titan X, and uploads over a constrained IoT uplink. These structs
+ * capture the published device parameters the equations in §IV need.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace insitu {
+
+/** GPU parameters used by Eqs (2), (3), (5)-(8). */
+struct GpuSpec {
+    std::string name;
+    double freq_hz = 0;        ///< core clock
+    int cuda_cores = 0;        ///< nCUDACore in Eq (7)
+    int max_blocks = 0;        ///< maxBlocks resident blocks, Eq (3)
+    double mem_bandwidth = 0;  ///< bytes/s, MBW in Eq (6)
+    double mem_capacity = 0;   ///< bytes of device-usable RAM, Eq (9)
+    double power_watts = 0;    ///< board power under load
+    double idle_watts = 0;     ///< idle draw
+    int tile_m = 64;           ///< GEMM sub-matrix rows per block (m)
+    int tile_n = 64;           ///< GEMM sub-matrix cols per block (n)
+
+    /** Peak ops/s (MAC = 2 ops): 2 * Freq * nCUDACore. */
+    double
+    peak_ops() const
+    {
+        return 2.0 * freq_hz * static_cast<double>(cuda_cores);
+    }
+};
+
+/** FPGA parameters used by Eqs (4), (10)-(13). */
+struct FpgaSpec {
+    std::string name;
+    double freq_hz = 0;        ///< accelerator clock
+    int dsp_slices = 0;        ///< DSPtotal in Eq (10)
+    double mem_bandwidth = 0;  ///< off-chip bytes/s
+    double bram_bytes = 0;     ///< on-chip buffer capacity
+    double power_watts = 0;    ///< board power under load
+    double idle_watts = 0;
+};
+
+/** Uplink parameters for the node -> cloud data path. */
+struct LinkSpec {
+    std::string name;
+    double bandwidth_bps = 0;    ///< sustained uplink throughput
+    double energy_per_byte = 0;  ///< radio J/B at the node
+    double latency_s = 0;        ///< one-way latency
+
+    /** Seconds to move @p bytes upstream. */
+    double
+    transfer_seconds(double bytes) const
+    {
+        return latency_s + bytes * 8.0 / bandwidth_bps;
+    }
+
+    /** Node-side radio energy to move @p bytes. */
+    double
+    transfer_energy(double bytes) const
+    {
+        return bytes * energy_per_byte;
+    }
+};
+
+/** NVIDIA Jetson TX1: 256 Maxwell cores @ ~998 MHz, 25.6 GB/s. */
+GpuSpec tx1_spec();
+
+/** NVIDIA Titan X (Maxwell): 3072 cores @ ~1.075 GHz, 336 GB/s. */
+GpuSpec titan_x_spec();
+
+/** Xilinx Virtex-7 VX690T: 3600 DSP slices; ~150 MHz designs. */
+FpgaSpec vx690t_spec();
+
+/** A constrained long-range IoT uplink (LTE-class). */
+LinkSpec iot_uplink_spec();
+
+/** A fast local link (for ablations; campus Wi-Fi / Ethernet). */
+LinkSpec lan_uplink_spec();
+
+/** Bytes of one camera frame as shipped to the cloud (JPEG-ish). */
+double bytes_per_image();
+
+} // namespace insitu

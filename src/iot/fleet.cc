@@ -1,0 +1,133 @@
+#include "iot/fleet.h"
+
+#include "nn/trainer.h"
+#include "util/logging.h"
+
+namespace insitu {
+
+FleetSim::FleetSim(FleetConfig config)
+    : config_(config),
+      cloud_(config.tiny, titan_x_spec(), config.seed),
+      rng_(config.seed ^ 0xF1EE7ULL)
+{
+    INSITU_CHECK(!config_.node_severity_offset.empty(),
+                 "fleet needs at least one node");
+    for (size_t i = 0; i < config_.node_severity_offset.size(); ++i) {
+        nodes_.emplace_back(config_.tiny, cloud_.permutations(),
+                            config_.shared_convs, config_.diagnosis,
+                            config_.seed + 101 * (i + 1));
+    }
+}
+
+InsituNode&
+FleetSim::node(size_t i)
+{
+    INSITU_CHECK(i < nodes_.size(), "node index out of range");
+    return nodes_[i];
+}
+
+Condition
+FleetSim::node_condition(size_t node, double base_severity) const
+{
+    return Condition::in_situ(
+        base_severity + config_.node_severity_offset[node]);
+}
+
+void
+FleetSim::deploy_all()
+{
+    for (auto& node : nodes_) {
+        node.deploy_diagnosis(cloud_.jigsaw());
+        node.deploy_inference(cloud_.inference());
+    }
+}
+
+double
+FleetSim::bootstrap(int64_t images_per_node, double base_severity)
+{
+    std::vector<Dataset> parts;
+    parts.reserve(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        parts.push_back(make_dataset(config_.synth, images_per_node,
+                                     node_condition(i, base_severity),
+                                     rng_));
+    }
+    std::vector<const Dataset*> ptrs;
+    for (const auto& p : parts) ptrs.push_back(&p);
+    const Dataset pooled = concat_datasets(ptrs);
+
+    cloud_.pretrain(pooled.images, config_.pretrain_epochs);
+    cloud_.transfer_from_pretext(config_.shared_convs);
+    cloud_.inference().share_convs_from(cloud_.jigsaw().trunk(),
+                                        config_.shared_convs);
+    UpdatePolicy policy = config_.update;
+    policy.frozen_convs = config_.shared_convs;
+    cloud_.update(pooled, policy);
+    deploy_all();
+
+    double acc = 0.0;
+    for (auto& node : nodes_)
+        acc += node.inference().accuracy(pooled);
+    return acc / static_cast<double>(nodes_.size());
+}
+
+FleetStageReport
+FleetSim::run_stage(int64_t images_per_node, double base_severity)
+{
+    FleetStageReport report;
+    std::vector<Dataset> valuable_parts;
+    std::vector<Dataset> stage_data;
+    stage_data.reserve(nodes_.size());
+
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        stage_data.push_back(
+            make_dataset(config_.synth, images_per_node,
+                         node_condition(i, base_severity), rng_));
+        const Dataset& data = stage_data.back();
+        const NodeStageReport node_report =
+            nodes_[i].process_stage(data);
+        FleetNodeReport nr;
+        nr.node = static_cast<int>(i);
+        nr.acquired = node_report.acquired;
+        nr.uploaded = node_report.flagged;
+        nr.flag_rate = node_report.flag_rate;
+        nr.accuracy_before = node_report.accuracy.value_or(0.0);
+        report.nodes.push_back(nr);
+        report.pooled_uploads += node_report.flagged;
+
+        const auto idx =
+            DiagnosisTask::flagged_indices(node_report.flags);
+        Dataset valuable;
+        valuable.condition = data.condition;
+        valuable.images = gather_rows(data.images, idx);
+        for (int64_t j : idx)
+            valuable.labels.push_back(
+                data.labels[static_cast<size_t>(j)]);
+        valuable_parts.push_back(std::move(valuable));
+    }
+
+    // Pool the fleet's valuable data into one cloud update.
+    std::vector<const Dataset*> ptrs;
+    for (const auto& p : valuable_parts)
+        if (p.size() > 0) ptrs.push_back(&p);
+    if (!ptrs.empty()) {
+        const Dataset pooled = concat_datasets(ptrs);
+        cloud_.pretrain(pooled.images,
+                        config_.incremental_pretrain_epochs);
+        UpdatePolicy policy = config_.update;
+        policy.frozen_convs = config_.shared_convs;
+        cloud_.update(pooled, policy);
+    }
+    deploy_all();
+
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        report.nodes[i].accuracy_after =
+            nodes_[i].inference().accuracy(stage_data[i]);
+        report.mean_accuracy_after += report.nodes[i].accuracy_after;
+    }
+    report.mean_accuracy_after /=
+        static_cast<double>(nodes_.size());
+    return report;
+}
+
+} // namespace insitu

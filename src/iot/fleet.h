@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Multi-node fleet simulation.
+ *
+ * The paper's edge node already aggregates multiple sensors; real
+ * deployments run many such nodes against one cloud. The fleet
+ * simulator gives each node its own micro-climate (severity offset),
+ * pools the valuable uploads from all nodes into one incremental
+ * update, and redeploys the refreshed models fleet-wide — so a node
+ * in a harsh micro-climate benefits from data its siblings flagged.
+ */
+#pragma once
+
+#include "cloud/update_service.h"
+#include "iot/node.h"
+
+namespace insitu {
+
+/** Fleet-level configuration. */
+struct FleetConfig {
+    TinyConfig tiny;
+    SynthConfig synth;
+    DiagnosisConfig diagnosis;
+    UpdatePolicy update;
+    size_t shared_convs = 3;
+    int pretrain_epochs = 2;
+    int incremental_pretrain_epochs = 1;
+    /// Per-node severity offsets added to the stage's base severity
+    /// (one entry per node; size defines the fleet size).
+    std::vector<double> node_severity_offset = {0.0, 0.1, 0.2};
+    uint64_t seed = 1;
+};
+
+/** One node's view of a fleet stage. */
+struct FleetNodeReport {
+    int node = 0;
+    int64_t acquired = 0;
+    int64_t uploaded = 0;
+    double flag_rate = 0;
+    double accuracy_before = 0;
+    double accuracy_after = 0;
+};
+
+/** One fleet-wide stage. */
+struct FleetStageReport {
+    std::vector<FleetNodeReport> nodes;
+    int64_t pooled_uploads = 0;   ///< valuable images across the fleet
+    double mean_accuracy_after = 0;
+};
+
+/** A fleet of In-situ nodes sharing one cloud. */
+class FleetSim {
+  public:
+    explicit FleetSim(FleetConfig config);
+
+    /** Number of nodes. */
+    size_t size() const { return nodes_.size(); }
+
+    /**
+     * Bootstrap: every node contributes @p images_per_node initial
+     * images (under its own conditions); the cloud pre-trains,
+     * transfers and trains on the pooled set, then deploys
+     * fleet-wide.
+     * @return mean node accuracy on the pooled bootstrap data.
+     */
+    double bootstrap(int64_t images_per_node, double base_severity);
+
+    /**
+     * One incremental stage: each node acquires @p images_per_node
+     * new images at @p base_severity (plus its offset), flags and
+     * uploads the valuable subset; the cloud updates once on the
+     * pooled uploads and redeploys.
+     */
+    FleetStageReport run_stage(int64_t images_per_node,
+                               double base_severity);
+
+    ModelUpdateService& cloud() { return cloud_; }
+    InsituNode& node(size_t i);
+
+  private:
+    /** Node-local condition for a stage. */
+    Condition node_condition(size_t node,
+                             double base_severity) const;
+
+    void deploy_all();
+
+    FleetConfig config_;
+    ModelUpdateService cloud_;
+    std::vector<InsituNode> nodes_;
+    Rng rng_;
+};
+
+} // namespace insitu

@@ -1,0 +1,84 @@
+#include "iot/node.h"
+
+#include "util/logging.h"
+
+namespace insitu {
+
+namespace {
+
+/** Assemble the node's weight-shared task pair. */
+JigsawNetwork
+make_shared_jigsaw(const TinyConfig& config, Network& inference,
+                   size_t shared_convs, Rng& rng)
+{
+    Network trunk = make_tiny_trunk(config, rng);
+    trunk.share_convs_from(inference, shared_convs);
+    return JigsawNetwork(std::move(trunk),
+                         make_tiny_jigsaw_head(config, rng));
+}
+
+} // namespace
+
+InsituNode::InsituNode(const TinyConfig& config,
+                       const PermutationSet& perms, size_t shared_convs,
+                       DiagnosisConfig diag_config, uint64_t seed)
+    : shared_convs_(shared_convs),
+      inference_([&] {
+          Rng rng(seed);
+          return InferenceTask(make_tiny_inference(config, rng));
+      }()),
+      diagnosis_([&] {
+          Rng rng(seed ^ 0xD1A6ULL);
+          return DiagnosisTask(
+              make_shared_jigsaw(config, inference_.network(),
+                                 shared_convs, rng),
+              perms, diag_config, seed ^ 0xF1A65ULL);
+      }())
+{
+    INSITU_CHECK(
+        diagnosis_.network().trunk().shared_conv_prefix(
+            inference_.network()) >= shared_convs,
+        "node weight sharing not established");
+}
+
+void
+InsituNode::deploy_inference(const Network& cloud_inference)
+{
+    copy_parameters(inference_.network(), cloud_inference);
+}
+
+void
+InsituNode::deploy_diagnosis(const JigsawNetwork& cloud_jigsaw)
+{
+    // Copy the trunk first, then the head. The shared conv prefix is
+    // the same storage as the inference network; deploy_inference
+    // should be called after this when both models ship together.
+    copy_parameters(diagnosis_.network().trunk(),
+                    cloud_jigsaw.trunk());
+    copy_parameters(diagnosis_.network().head(), cloud_jigsaw.head());
+}
+
+NodeStageReport
+InsituNode::process_stage(const Dataset& stage)
+{
+    NodeStageReport report;
+    report.acquired = stage.size();
+    if (stage.size() == 0) return report;
+    report.predictions = inference_.predict(stage.images);
+    report.flags = diagnosis_.diagnose(stage.images);
+    for (bool f : report.flags)
+        if (f) ++report.flagged;
+    report.flag_rate = static_cast<double>(report.flagged) /
+                       static_cast<double>(report.acquired);
+    if (!stage.labels.empty()) {
+        int64_t correct = 0;
+        for (size_t i = 0; i < report.predictions.size(); ++i)
+            if (report.predictions[i] == stage.labels[i]) ++correct;
+        report.accuracy =
+            static_cast<double>(correct) /
+            static_cast<double>(report.predictions.size());
+    }
+    return report;
+}
+
+} // namespace insitu

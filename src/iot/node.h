@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The In-situ AI edge node (Fig. 4, left).
+ *
+ * Hosts the inference task and the diagnosis task with the first
+ * conv layers weight-shared between them (one storage, two networks),
+ * accepts model deployments from the cloud, and processes incoming
+ * stage data: predict everything, flag the valuable subset.
+ */
+#pragma once
+
+#include <optional>
+
+#include "iot/tasks.h"
+#include "models/tiny.h"
+
+namespace insitu {
+
+class ModelUpdateService;
+
+/** What the node did with one stage of acquired data. */
+struct NodeStageReport {
+    int64_t acquired = 0;
+    std::vector<int64_t> predictions;
+    std::vector<bool> flags;          ///< valuable (unrecognized)
+    int64_t flagged = 0;
+    double flag_rate = 0;
+    std::optional<double> accuracy;   ///< only when labels are known
+};
+
+/** An edge-computing node running both In-situ tasks. */
+class InsituNode {
+  public:
+    /**
+     * Build a node whose diagnosis network shares its first
+     * @p shared_convs conv layers with the inference network, using
+     * the same permutation set as the cloud service.
+     */
+    InsituNode(const TinyConfig& config, const PermutationSet& perms,
+               size_t shared_convs, DiagnosisConfig diag_config,
+               uint64_t seed);
+
+    /** Copy cloud inference weights onto the node. */
+    void deploy_inference(const Network& cloud_inference);
+
+    /** Copy cloud jigsaw (trunk + head) weights onto the node. */
+    void deploy_diagnosis(const JigsawNetwork& cloud_jigsaw);
+
+    /** Predict + diagnose one stage of data. */
+    NodeStageReport process_stage(const Dataset& stage);
+
+    /** Conv layers shared between the two on-node networks. */
+    size_t shared_convs() const { return shared_convs_; }
+
+    InferenceTask& inference() { return inference_; }
+    DiagnosisTask& diagnosis() { return diagnosis_; }
+
+  private:
+    size_t shared_convs_;
+    InferenceTask inference_;
+    DiagnosisTask diagnosis_;
+};
+
+} // namespace insitu

@@ -1,0 +1,106 @@
+#include "iot/tasks.h"
+
+#include "util/logging.h"
+
+namespace insitu {
+
+std::vector<int64_t>
+InferenceTask::predict(const Tensor& images, int64_t batch_size)
+{
+    INSITU_CHECK(images.rank() == 4, "predict expects NCHW images");
+    std::vector<int64_t> out;
+    const int64_t n = images.dim(0);
+    out.reserve(static_cast<size_t>(n));
+    for (int64_t begin = 0; begin < n; begin += batch_size) {
+        const int64_t end = std::min(n, begin + batch_size);
+        const Tensor logits =
+            net_.forward(images.slice0(begin, end), false);
+        for (int64_t p : logits.argmax_rows()) out.push_back(p);
+    }
+    return out;
+}
+
+double
+InferenceTask::accuracy(const Dataset& data, int64_t batch_size)
+{
+    if (data.size() == 0) return 0.0;
+    const auto preds = predict(data.images, batch_size);
+    int64_t correct = 0;
+    for (size_t i = 0; i < preds.size(); ++i)
+        if (preds[i] == data.labels[i]) ++correct;
+    return static_cast<double>(correct) /
+           static_cast<double>(preds.size());
+}
+
+DiagnosisTask::DiagnosisTask(JigsawNetwork net, PermutationSet perms,
+                             DiagnosisConfig config, uint64_t seed)
+    : net_(std::move(net)), perms_(std::move(perms)), config_(config),
+      rng_(seed)
+{
+    INSITU_CHECK(config_.probes > 0, "need at least one probe");
+    INSITU_CHECK(config_.fail_threshold > 0 &&
+                     config_.fail_threshold <= config_.probes,
+                 "fail threshold must be in [1, probes]");
+}
+
+std::vector<bool>
+DiagnosisTask::diagnose(const Tensor& images, int64_t batch_size)
+{
+    INSITU_CHECK(images.rank() == 4, "diagnose expects NCHW images");
+    const int64_t n = images.dim(0);
+    std::vector<int> failures(static_cast<size_t>(n), 0);
+    for (int probe = 0; probe < config_.probes; ++probe) {
+        for (int64_t begin = 0; begin < n; begin += batch_size) {
+            const int64_t end = std::min(n, begin + batch_size);
+            const Tensor chunk = images.slice0(begin, end);
+            const JigsawBatch batch =
+                make_jigsaw_batch(chunk, perms_, rng_);
+            const Tensor logits = net_.forward(batch.patches, false);
+            const auto preds = logits.argmax_rows();
+            for (size_t i = 0; i < preds.size(); ++i) {
+                if (preds[i] != batch.labels[i])
+                    ++failures[static_cast<size_t>(begin) + i];
+            }
+        }
+    }
+    std::vector<bool> flags(static_cast<size_t>(n));
+    for (size_t i = 0; i < flags.size(); ++i)
+        flags[i] = failures[i] >= config_.fail_threshold;
+    return flags;
+}
+
+double
+DiagnosisTask::flag_rate(const Tensor& images)
+{
+    const auto flags = diagnose(images);
+    if (flags.empty()) return 0.0;
+    int64_t count = 0;
+    for (bool f : flags)
+        if (f) ++count;
+    return static_cast<double>(count) /
+           static_cast<double>(flags.size());
+}
+
+BinaryMetrics
+DiagnosisTask::score_against_errors(InferenceTask& inference,
+                                    const Dataset& data)
+{
+    INSITU_CHECK(data.size() > 0, "cannot score on empty data");
+    const auto flags = diagnose(data.images);
+    const auto preds = inference.predict(data.images);
+    std::vector<bool> truth(static_cast<size_t>(data.size()));
+    for (size_t i = 0; i < truth.size(); ++i)
+        truth[i] = preds[i] != data.labels[i];
+    return BinaryMetrics::score(flags, truth);
+}
+
+std::vector<int64_t>
+DiagnosisTask::flagged_indices(const std::vector<bool>& flags)
+{
+    std::vector<int64_t> out;
+    for (size_t i = 0; i < flags.size(); ++i)
+        if (flags[i]) out.push_back(static_cast<int64_t>(i));
+    return out;
+}
+
+} // namespace insitu

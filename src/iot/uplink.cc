@@ -1,0 +1,53 @@
+#include "iot/uplink.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace insitu {
+
+UplinkQueue::UplinkQueue(LinkSpec link, double bytes_per_payload)
+    : link_(std::move(link)), payload_bytes_(bytes_per_payload)
+{
+    INSITU_CHECK(payload_bytes_ > 0, "payload must be positive");
+    INSITU_CHECK(link_.bandwidth_bps > 0, "link needs bandwidth");
+}
+
+void
+UplinkQueue::enqueue(int64_t images, double now_s)
+{
+    INSITU_CHECK(images >= 0, "negative enqueue");
+    for (int64_t i = 0; i < images; ++i) pending_.push_back(now_s);
+    stats_.enqueued += images;
+    stats_.max_backlog =
+        std::max(stats_.max_backlog, backlog_bytes());
+}
+
+double
+UplinkQueue::backlog_bytes() const
+{
+    return static_cast<double>(pending_.size()) * payload_bytes_;
+}
+
+int64_t
+UplinkQueue::drain_window(double from_s, double to_s)
+{
+    INSITU_CHECK(to_s >= from_s, "window must be ordered");
+    const double per_payload_s =
+        payload_bytes_ * 8.0 / link_.bandwidth_bps;
+    double clock = from_s;
+    int64_t delivered = 0;
+    while (!pending_.empty() && clock + per_payload_s <= to_s) {
+        const double enqueued_at = pending_.front();
+        pending_.pop_front();
+        clock += per_payload_s;
+        ++delivered;
+        stats_.total_delay_s += clock - enqueued_at;
+        stats_.bytes_sent += payload_bytes_;
+        stats_.energy_j += link_.transfer_energy(payload_bytes_);
+    }
+    stats_.delivered += delivered;
+    return delivered;
+}
+
+} // namespace insitu

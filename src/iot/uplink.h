@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Discrete-time uplink queue for the node -> cloud path.
+ *
+ * The diagnosis task is deferrable (§III-C2): flagged images queue up
+ * and drain when the radio window allows. This simulator tracks the
+ * backlog, per-image queueing delay and radio energy of a
+ * bandwidth-limited, duty-cycled uplink, so system studies can answer
+ * "how stale is the training data when it reaches the cloud?".
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "hw/spec.h"
+
+namespace insitu {
+
+/** Aggregate statistics of a simulated uplink. */
+struct UplinkStats {
+    int64_t enqueued = 0;       ///< images handed to the radio
+    int64_t delivered = 0;      ///< images fully transmitted
+    double bytes_sent = 0;      ///< payload delivered
+    double energy_j = 0;        ///< radio energy spent
+    double max_backlog = 0;     ///< peak queued bytes
+    double total_delay_s = 0;   ///< summed queueing+transmit delay
+
+    /** Mean seconds an image waited from enqueue to delivery. */
+    double
+    mean_delay_s() const
+    {
+        return delivered ? total_delay_s /
+                               static_cast<double>(delivered)
+                         : 0.0;
+    }
+};
+
+/**
+ * A FIFO uplink with finite bandwidth and optional duty cycling
+ * (e.g. transmit only during the night window).
+ */
+class UplinkQueue {
+  public:
+    /**
+     * @param link radio characteristics.
+     * @param bytes_per_payload size of one queued image.
+     */
+    UplinkQueue(LinkSpec link, double bytes_per_payload);
+
+    /** Queue @p images at simulation time @p now_s. */
+    void enqueue(int64_t images, double now_s);
+
+    /**
+     * Let the radio transmit during the window
+     * [@p from_s, @p to_s). Returns images delivered in the window.
+     */
+    int64_t drain_window(double from_s, double to_s);
+
+    /** Images still waiting. */
+    int64_t backlog() const
+    {
+        return static_cast<int64_t>(pending_.size());
+    }
+
+    /** Bytes still waiting. */
+    double backlog_bytes() const;
+
+    const UplinkStats& stats() const { return stats_; }
+
+  private:
+    LinkSpec link_;
+    double payload_bytes_;
+    std::deque<double> pending_; ///< enqueue timestamps, FIFO
+    UplinkStats stats_;
+};
+
+} // namespace insitu

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Analytical layer descriptors of the CNNs the paper characterizes.
+ *
+ * The hardware models (§IV) never execute these networks; they only
+ * need per-layer dimensions: M output maps, N input maps, K kernel,
+ * R x C output size. Eq. (1): CONVops = 2 * M * N * K^2 * R * C.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace insitu {
+
+/** Layer category for the analytical models. */
+enum class LayerType { kConv, kFcn, kPool };
+
+/** Dimensions of one layer in the paper's notation. */
+struct LayerDesc {
+    std::string name;
+    LayerType type = LayerType::kConv;
+    int64_t n = 0;      ///< input feature maps (channels)
+    int64_t m = 0;      ///< output feature maps (filters)
+    int64_t k = 1;      ///< square kernel size (1 for FCN)
+    int64_t r = 1;      ///< output rows (1 for FCN)
+    int64_t c = 1;      ///< output cols (1 for FCN)
+    int64_t stride = 1;
+
+    /** Multiply-accumulate op count of Eq. (1), in ops (MAC = 2). */
+    double ops() const;
+
+    /** Weight element count (Dw in the paper): M * N * K^2. */
+    double weight_count() const;
+
+    /** im2col-expanded input elements per image: N * K^2 * R * C. */
+    double input_count() const;
+
+    /** Output elements per image: M * R * C. */
+    double output_count() const;
+};
+
+/** A whole network as a list of layer descriptors. */
+struct NetworkDesc {
+    std::string name;
+    std::vector<LayerDesc> layers;
+
+    /** Conv layers only, in order. */
+    std::vector<LayerDesc> conv_layers() const;
+
+    /** FCN layers only, in order. */
+    std::vector<LayerDesc> fcn_layers() const;
+
+    /** Total ops across conv + fcn layers. */
+    double total_ops() const;
+
+    /** Total weight count across conv + fcn layers. */
+    double total_weights() const;
+};
+
+/** AlexNet (Krizhevsky et al.), single-column dimensions. */
+NetworkDesc alexnet_desc();
+
+/** VGG-16 (Simonyan & Zisserman). */
+NetworkDesc vgg16_desc();
+
+/**
+ * GoogLeNet approximated as a sequential conv stack with equivalent
+ * per-stage op counts (inception branches summed); sufficient for the
+ * op/weight-level analytical models used here.
+ */
+NetworkDesc googlenet_desc();
+
+/**
+ * Descriptor of the repo's trainable TinyNet (for cross-checking the
+ * analytical models against the executable substrate).
+ */
+NetworkDesc tinynet_desc();
+
+/**
+ * Descriptor of the diagnosis (jigsaw) companion of @p inference: the
+ * same conv stack applied to 3x-smaller tiles — output maps shrink to
+ * roughly R/3 x C/3 per engine, nine engines in parallel (Fig. 17/18).
+ */
+NetworkDesc diagnosis_desc(const NetworkDesc& inference);
+
+/**
+ * FCN head of the diagnosis (jigsaw) network at paper scale: the nine
+ * tile embeddings concatenate into a classifier over the permutation
+ * set. In the Co-running pipeline this head runs on the same NWS FCN
+ * engine as the inference FCN layers (Fig. 19 feeds the NWS stage
+ * from both the inference and the diagnosis buffer).
+ */
+NetworkDesc jigsaw_head_desc();
+
+} // namespace insitu

@@ -1,0 +1,134 @@
+#include "models/tiny.h"
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace insitu {
+
+namespace {
+
+/// Base channel plan of the five conv layers (scaled by config.width).
+constexpr int64_t kChannels[kTinyConvCount + 1] = {3, 16, 24, 32, 32,
+                                                   32};
+
+/// Whether a 2x2/stride-2 max pool follows conv layer i (AlexNet-like:
+/// pools after conv1, conv2 and conv5).
+constexpr bool kPoolAfter[kTinyConvCount] = {true, true, false, false,
+                                             true};
+
+/** Channel count of conv layer boundary @p i under @p config. */
+int64_t
+scaled_channels(const TinyConfig& config, size_t i)
+{
+    if (i == 0) return kChannels[0]; // input channels are fixed RGB
+    return std::max<int64_t>(
+        4, static_cast<int64_t>(static_cast<double>(kChannels[i]) *
+                                config.width));
+}
+
+/** Append the shared conv stack to @p net; returns final spatial dim. */
+int64_t
+append_conv_stack(Network& net, const TinyConfig& config,
+                  int64_t spatial, Rng& rng)
+{
+    for (size_t i = 0; i < kTinyConvCount; ++i) {
+        const std::string id = "conv" + std::to_string(i + 1);
+        net.emplace<Conv2d>(id, scaled_channels(config, i),
+                            scaled_channels(config, i + 1), 3, 1, 1,
+                            rng);
+        net.emplace<ReLU>(id + ".relu");
+        if (kPoolAfter[i]) {
+            INSITU_CHECK(spatial % 2 == 0 && spatial >= 2,
+                         "tiny net spatial dim ", spatial,
+                         " not poolable after ", id);
+            net.emplace<MaxPool2d>(id + ".pool", 2, 2);
+            spatial /= 2;
+        }
+    }
+    return spatial;
+}
+
+} // namespace
+
+int64_t
+tiny_trunk_features(const TinyConfig& config)
+{
+    INSITU_CHECK(config.image_size % 3 == 0,
+                 "image size must be divisible by 3");
+    int64_t spatial = config.image_size / 3;
+    for (size_t i = 0; i < kTinyConvCount; ++i) {
+        if (kPoolAfter[i]) {
+            INSITU_CHECK(spatial % 2 == 0 && spatial >= 2,
+                         "tile size not poolable");
+            spatial /= 2;
+        }
+    }
+    return scaled_channels(config, kTinyConvCount) * spatial * spatial;
+}
+
+Network
+make_tiny_inference(const TinyConfig& config, Rng& rng)
+{
+    Network net("tiny_inference");
+    const int64_t spatial =
+        append_conv_stack(net, config, config.image_size, rng);
+    net.emplace<Flatten>();
+    const int64_t feats =
+        scaled_channels(config, kTinyConvCount) * spatial * spatial;
+    net.emplace<Linear>("fc1", feats, 64, rng);
+    net.emplace<ReLU>("fc1.relu");
+    net.emplace<Linear>("fc2", 64, config.num_classes, rng);
+    return net;
+}
+
+Network
+make_tiny_trunk(const TinyConfig& config, Rng& rng)
+{
+    Network net("tiny_trunk");
+    append_conv_stack(net, config, config.image_size / 3, rng);
+    net.emplace<Flatten>();
+    return net;
+}
+
+Network
+make_tiny_jigsaw_head(const TinyConfig& config, Rng& rng)
+{
+    Network net("tiny_jigsaw_head");
+    const int64_t in =
+        PermutationSet::kTiles * tiny_trunk_features(config);
+    net.emplace<Linear>("jfc1", in, 128, rng);
+    net.emplace<ReLU>("jfc1.relu");
+    net.emplace<Linear>("jfc2", 128, config.num_permutations, rng);
+    return net;
+}
+
+JigsawNetwork
+make_tiny_jigsaw(const TinyConfig& config, Rng& rng)
+{
+    return JigsawNetwork(make_tiny_trunk(config, rng),
+                         make_tiny_jigsaw_head(config, rng));
+}
+
+Network
+make_tiny_relative_head(const TinyConfig& config, Rng& rng)
+{
+    Network net("tiny_relative_head");
+    const int64_t in = 2 * tiny_trunk_features(config);
+    net.emplace<Linear>("rfc1", in, 64, rng);
+    net.emplace<ReLU>("rfc1.relu");
+    net.emplace<Linear>("rfc2", 64, kRelativePositions, rng);
+    return net;
+}
+
+RelativePositionNetwork
+make_tiny_relative(const TinyConfig& config, Rng& rng)
+{
+    return RelativePositionNetwork(make_tiny_trunk(config, rng),
+                                   make_tiny_relative_head(config, rng));
+}
+
+} // namespace insitu

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The trainable TinyNet family used by the accuracy experiments.
+ *
+ * TinyNet mirrors AlexNet's structure at laptop scale: five conv
+ * layers (so the paper's CONV-0..CONV-5 locking/sharing sweeps map
+ * one-to-one) followed by two FC layers. The jigsaw trunk is the SAME
+ * conv stack applied to 8x8 tiles, which makes copy/share/freeze
+ * surgery between pretext and inference networks exact.
+ */
+#pragma once
+
+#include "nn/network.h"
+#include "selfsup/jigsaw.h"
+#include "selfsup/relative.h"
+
+namespace insitu {
+
+class Rng;
+
+/** TinyNet dimensions shared by every builder below. */
+struct TinyConfig {
+    int64_t image_size = 24; ///< inference input (divisible by 3)
+    int num_classes = 10;
+    int num_permutations = 16; ///< jigsaw pretext classes
+    /// Channel-width multiplier; the capacity knob standing in for
+    /// the AlexNet -> GoogleNet -> VGGNet sweep of Table I.
+    double width = 1.0;
+};
+
+/** Number of conv layers in every TinyNet variant. */
+constexpr size_t kTinyConvCount = 5;
+
+/**
+ * Inference network: conv1..conv5 (+ReLU/pool) then fc1, fc2 ->
+ * class logits. Input (B, 3, image_size, image_size).
+ */
+Network make_tiny_inference(const TinyConfig& config, Rng& rng);
+
+/**
+ * Jigsaw trunk: the identical conv stack, ending in Flatten. Input is
+ * one tile (B*9, 3, image_size/3, image_size/3); output per-tile
+ * features.
+ */
+Network make_tiny_trunk(const TinyConfig& config, Rng& rng);
+
+/** Per-tile feature width the trunk emits for @p config. */
+int64_t tiny_trunk_features(const TinyConfig& config);
+
+/** Jigsaw head: (B, 9*features) -> permutation logits. */
+Network make_tiny_jigsaw_head(const TinyConfig& config, Rng& rng);
+
+/** Fully assembled jigsaw (diagnosis/pretext) network. */
+JigsawNetwork make_tiny_jigsaw(const TinyConfig& config, Rng& rng);
+
+/** Head for the relative-position pretext: (B, 2*F) -> 8 logits. */
+Network make_tiny_relative_head(const TinyConfig& config, Rng& rng);
+
+/** Fully assembled relative-position pretext network. */
+RelativePositionNetwork make_tiny_relative(const TinyConfig& config,
+                                           Rng& rng);
+
+} // namespace insitu

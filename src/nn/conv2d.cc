@@ -1,0 +1,161 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace insitu {
+
+Conv2d::Conv2d(std::string name, int64_t in_channels,
+               int64_t out_channels, int64_t kernel, int64_t stride,
+               int64_t pad, Rng& rng)
+    : in_channels_(in_channels), out_channels_(out_channels),
+      kernel_(kernel), stride_(stride), pad_(pad)
+{
+    INSITU_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 &&
+                     stride > 0 && pad >= 0,
+                 "invalid conv config");
+    set_name(std::move(name));
+    weight_ = std::make_shared<Parameter>(
+        name_ + ".weight",
+        std::vector<int64_t>{out_channels, in_channels, kernel, kernel});
+    bias_ = std::make_shared<Parameter>(name_ + ".bias",
+                                        std::vector<int64_t>{out_channels});
+    const float bound = std::sqrt(
+        6.0f / static_cast<float>(in_channels * kernel * kernel));
+    weight_->value().fill_uniform(rng, -bound, bound);
+}
+
+ConvGeometry
+Conv2d::geometry(const Tensor& input) const
+{
+    INSITU_CHECK(input.rank() == 4, "conv expects NCHW input");
+    INSITU_CHECK(input.dim(1) == in_channels_, "conv ", name_,
+                 ": input channels ", input.dim(1), " != ",
+                 in_channels_);
+    ConvGeometry g;
+    g.in_channels = in_channels_;
+    g.in_h = input.dim(2);
+    g.in_w = input.dim(3);
+    g.kernel = kernel_;
+    g.stride = stride_;
+    g.pad = pad_;
+    return g;
+}
+
+Tensor
+Conv2d::forward(const Tensor& input, bool /*training*/)
+{
+    const ConvGeometry g = geometry(input);
+    const int64_t batch = input.dim(0);
+    const int64_t oh = g.out_h(), ow = g.out_w();
+    cached_input_ = input;
+
+    if (backend_ == ConvBackend::kDirect) {
+        return conv2d_direct(input, weight_->value(), bias_->value(),
+                             g);
+    }
+
+    // Filter matrix Fm: (M, N*K*K).
+    const Tensor fm = weight_->value().reshape(
+        {out_channels_, in_channels_ * kernel_ * kernel_});
+    Tensor output({batch, out_channels_, oh, ow});
+    const float* pb = bias_->value().data();
+    for (int64_t b = 0; b < batch; ++b) {
+        const Tensor cols = im2col(input, b, g);   // Dm: (NK^2, R*C)
+        const Tensor om = matmul(fm, cols);        // Om: (M, R*C)
+        float* dst = output.data() + b * out_channels_ * oh * ow;
+        const float* src = om.data();
+        for (int64_t m = 0; m < out_channels_; ++m) {
+            const float bias = pb[m];
+            for (int64_t i = 0; i < oh * ow; ++i)
+                dst[m * oh * ow + i] = src[m * oh * ow + i] + bias;
+        }
+    }
+    return output;
+}
+
+Tensor
+Conv2d::backward(const Tensor& grad_output)
+{
+    INSITU_CHECK(!cached_input_.empty(),
+                 "conv backward before forward");
+    const ConvGeometry g = geometry(cached_input_);
+    const int64_t batch = cached_input_.dim(0);
+    const int64_t oh = g.out_h(), ow = g.out_w();
+    INSITU_CHECK(grad_output.rank() == 4 &&
+                     grad_output.dim(0) == batch &&
+                     grad_output.dim(1) == out_channels_ &&
+                     grad_output.dim(2) == oh &&
+                     grad_output.dim(3) == ow,
+                 "conv grad_output shape mismatch");
+
+    const Tensor fm = weight_->value().reshape(
+        {out_channels_, in_channels_ * kernel_ * kernel_});
+    Tensor grad_input({batch, in_channels_, g.in_h, g.in_w});
+    Tensor grad_fm({out_channels_, in_channels_ * kernel_ * kernel_});
+    float* gb = bias_->grad().data();
+
+    for (int64_t b = 0; b < batch; ++b) {
+        // Per-image gradient of the output matrix Om: (M, R*C).
+        Tensor gom({out_channels_, oh * ow});
+        const float* src =
+            grad_output.data() + b * out_channels_ * oh * ow;
+        std::copy(src, src + out_channels_ * oh * ow, gom.data());
+
+        // dL/dFm += dL/dOm * Dm^T.
+        const Tensor cols = im2col(cached_input_, b, g);
+        grad_fm += matmul_tb(gom, cols);
+
+        // dL/dDm = Fm^T * dL/dOm, scattered back with col2im.
+        const Tensor gcols = matmul_ta(fm, gom);
+        col2im_accumulate(gcols, grad_input, b, g);
+
+        // dL/dbias: sum over spatial positions.
+        for (int64_t m = 0; m < out_channels_; ++m) {
+            float acc = 0.0f;
+            const float* row = gom.data() + m * oh * ow;
+            for (int64_t i = 0; i < oh * ow; ++i) acc += row[i];
+            gb[m] += acc;
+        }
+    }
+    weight_->grad() += grad_fm.reshape(
+        {out_channels_, in_channels_, kernel_, kernel_});
+    return grad_input;
+}
+
+std::vector<ParameterPtr>
+Conv2d::params()
+{
+    return {weight_, bias_};
+}
+
+void
+Conv2d::set_param(size_t i, ParameterPtr p)
+{
+    INSITU_CHECK(p != nullptr, "null parameter");
+    if (i == 0) {
+        INSITU_CHECK(p->value().same_shape(weight_->value()),
+                     "conv weight shape mismatch in set_param");
+        weight_ = std::move(p);
+    } else if (i == 1) {
+        INSITU_CHECK(p->value().same_shape(bias_->value()),
+                     "conv bias shape mismatch in set_param");
+        bias_ = std::move(p);
+    } else {
+        panic("conv has two parameter slots");
+    }
+}
+
+std::string
+Conv2d::describe() const
+{
+    std::ostringstream oss;
+    oss << "conv " << in_channels_ << "->" << out_channels_ << " k"
+        << kernel_ << " s" << stride_ << " p" << pad_;
+    return oss.str();
+}
+
+} // namespace insitu

@@ -1,0 +1,48 @@
+#include "nn/grad_check.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace insitu {
+
+GradCheckResult
+check_gradients(Network& net, const std::function<double()>& loss_fn,
+                const std::function<void()>& backward_fn, double eps,
+                int64_t max_per_param)
+{
+    net.zero_grad();
+    backward_fn();
+
+    GradCheckResult result;
+    for (const auto& p : net.params()) {
+        // Frozen parameters intentionally receive no analytic
+        // gradient (backward early-stops above them); skip them.
+        if (p->frozen()) continue;
+        const int64_t n = p->numel();
+        const int64_t step = std::max<int64_t>(1, n / max_per_param);
+        for (int64_t i = 0; i < n; i += step) {
+            const float saved = p->value().at(i);
+            p->value().at(i) = saved + static_cast<float>(eps);
+            const double lp = loss_fn();
+            p->value().at(i) = saved - static_cast<float>(eps);
+            const double lm = loss_fn();
+            p->value().at(i) = saved;
+
+            const double numeric = (lp - lm) / (2.0 * eps);
+            const double analytic =
+                static_cast<double>(p->grad().at(i));
+            const double abs_err = std::abs(numeric - analytic);
+            const double denom =
+                std::abs(numeric) + std::abs(analytic) + 0.05;
+            result.max_abs_error =
+                std::max(result.max_abs_error, abs_err);
+            result.max_rel_error =
+                std::max(result.max_rel_error, abs_err / denom);
+            ++result.checked;
+        }
+    }
+    return result;
+}
+
+} // namespace insitu

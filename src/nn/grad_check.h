@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Numerical gradient verification used by the test suite.
+ */
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace insitu {
+
+/** Result of a gradient check. */
+struct GradCheckResult {
+    double max_abs_error = 0.0; ///< worst |analytic - numeric|
+    /**
+     * Worst damped relative error |a - n| / (|a| + |n| + 0.05).
+     * The 0.05 floor absorbs float32 finite-difference noise on
+     * near-zero gradients while real backward bugs (wrong factor,
+     * wrong sign) still score ~0.3+.
+     */
+    double max_rel_error = 0.0;
+    int64_t checked = 0; ///< number of scalars compared
+    bool
+    ok(double tol = 2e-2) const
+    {
+        return checked > 0 && max_rel_error < tol;
+    }
+};
+
+/**
+ * Compare the network's analytic parameter gradients against central
+ * finite differences of the given scalar loss.
+ *
+ * @param net the network; its cached state is clobbered.
+ * @param loss_fn evaluates the loss at the current parameter values
+ *        (must run net.forward itself).
+ * @param backward_fn runs one forward+backward pass, accumulating
+ *        analytic gradients.
+ * @param eps finite-difference step.
+ * @param max_per_param cap on scalars probed per parameter (probing
+ *        every weight of a conv layer is unnecessary and slow).
+ */
+GradCheckResult check_gradients(
+    Network& net, const std::function<double()>& loss_fn,
+    const std::function<void()>& backward_fn, double eps = 1e-3,
+    int64_t max_per_param = 24);
+
+} // namespace insitu

@@ -1,0 +1,13 @@
+#include "nn/layer.h"
+
+#include "util/logging.h"
+
+namespace insitu {
+
+void
+Layer::set_param(size_t /*i*/, ParameterPtr /*p*/)
+{
+    panic("layer '" + name_ + "' has no parameter slots");
+}
+
+} // namespace insitu

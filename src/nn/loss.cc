@@ -1,0 +1,67 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace insitu {
+
+Tensor
+softmax_rows(const Tensor& logits)
+{
+    INSITU_CHECK(logits.rank() == 2, "softmax expects rank-2 logits");
+    Tensor out = logits;
+    const int64_t batch = out.dim(0), classes = out.dim(1);
+    float* p = out.data();
+    for (int64_t b = 0; b < batch; ++b) {
+        float* row = p + b * classes;
+        float mx = row[0];
+        for (int64_t c = 1; c < classes; ++c) mx = std::max(mx, row[c]);
+        double denom = 0.0;
+        for (int64_t c = 0; c < classes; ++c) {
+            row[c] = std::exp(row[c] - mx);
+            denom += row[c];
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (int64_t c = 0; c < classes; ++c) row[c] *= inv;
+    }
+    return out;
+}
+
+double
+SoftmaxCrossEntropy::forward(const Tensor& logits,
+                             const std::vector<int64_t>& labels)
+{
+    INSITU_CHECK(logits.rank() == 2, "loss expects rank-2 logits");
+    const int64_t batch = logits.dim(0), classes = logits.dim(1);
+    INSITU_CHECK(static_cast<int64_t>(labels.size()) == batch,
+                 "label count ", labels.size(), " != batch ", batch);
+    probs_ = softmax_rows(logits);
+    labels_ = labels;
+    double loss = 0.0;
+    for (int64_t b = 0; b < batch; ++b) {
+        const int64_t y = labels[static_cast<size_t>(b)];
+        INSITU_CHECK(y >= 0 && y < classes, "label out of range");
+        loss -= std::log(
+            std::max(probs_.at(b, y), 1e-12f));
+    }
+    return loss / static_cast<double>(batch);
+}
+
+Tensor
+SoftmaxCrossEntropy::backward() const
+{
+    INSITU_CHECK(!probs_.empty(), "loss backward before forward");
+    Tensor grad = probs_;
+    const int64_t batch = grad.dim(0), classes = grad.dim(1);
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+    float* g = grad.data();
+    for (int64_t b = 0; b < batch; ++b) {
+        g[b * classes + labels_[static_cast<size_t>(b)]] -= 1.0f;
+        for (int64_t c = 0; c < classes; ++c)
+            g[b * classes + c] *= inv_batch;
+    }
+    return grad;
+}
+
+} // namespace insitu

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Softmax + cross-entropy loss for classification heads.
+ */
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace insitu {
+
+/**
+ * Numerically-stable softmax cross-entropy over a batch of logits.
+ *
+ * forward() returns the mean loss; backward() returns the gradient of
+ * that mean loss with respect to the logits.
+ */
+class SoftmaxCrossEntropy {
+  public:
+    /**
+     * @param logits rank-2 (batch, classes).
+     * @param labels per-sample class indices, size == batch.
+     * @return mean negative log-likelihood.
+     */
+    double forward(const Tensor& logits,
+                   const std::vector<int64_t>& labels);
+
+    /** Gradient wrt logits of the last forward() call. */
+    Tensor backward() const;
+
+    /** Row-wise softmax probabilities from the last forward(). */
+    const Tensor& probabilities() const { return probs_; }
+
+  private:
+    Tensor probs_;
+    std::vector<int64_t> labels_;
+};
+
+/** Standalone row-wise softmax of a rank-2 logit tensor. */
+Tensor softmax_rows(const Tensor& logits);
+
+} // namespace insitu

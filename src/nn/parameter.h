@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Trainable parameter storage.
+ *
+ * Parameters are held by shared_ptr so that multiple networks (or
+ * multiple layers within one network) can literally share the same
+ * weight storage. This is the mechanism behind the paper's two levels
+ * of weight sharing: the diagnosis network shares its first CONV-layer
+ * weights with the inference network (§III-C2), and all nine jigsaw
+ * patches share one trunk (§IV-B2).
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "tensor/tensor.h"
+
+namespace insitu {
+
+/**
+ * A named trainable tensor with its gradient accumulator.
+ *
+ * A frozen parameter still participates in forward/backward (gradients
+ * flow *through* it to earlier layers) but optimizers skip its update —
+ * this implements the paper's CONV-i layer locking (Fig. 6).
+ */
+class Parameter {
+  public:
+    /** Create a zero parameter of the given shape. */
+    Parameter(std::string name, std::vector<int64_t> shape)
+        : name_(std::move(name)), value_(shape), grad_(std::move(shape))
+    {}
+
+    /** Parameter name, unique within a network (e.g. "conv1.weight"). */
+    const std::string& name() const { return name_; }
+
+    /** Rename (used when grafting parameters between networks). */
+    void set_name(std::string name) { name_ = std::move(name); }
+
+    /** Current value. */
+    Tensor& value() { return value_; }
+    const Tensor& value() const { return value_; }
+
+    /** Accumulated gradient (same shape as value). */
+    Tensor& grad() { return grad_; }
+    const Tensor& grad() const { return grad_; }
+
+    /** Reset the gradient accumulator to zero. */
+    void zero_grad() { grad_.fill(0.0f); }
+
+    /** Whether optimizers should skip this parameter. */
+    bool frozen() const { return frozen_; }
+    void set_frozen(bool frozen) { frozen_ = frozen; }
+
+    /** Number of scalar weights. */
+    int64_t numel() const { return value_.numel(); }
+
+  private:
+    std::string name_;
+    Tensor value_;
+    Tensor grad_;
+    bool frozen_ = false;
+};
+
+using ParameterPtr = std::shared_ptr<Parameter>;
+
+} // namespace insitu

@@ -1,0 +1,191 @@
+#include "nn/pooling.h"
+
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace insitu {
+
+namespace {
+
+void
+check_pool_input(const Tensor& input, int64_t kernel, int64_t stride)
+{
+    INSITU_CHECK(input.rank() == 4, "pool expects NCHW input");
+    INSITU_CHECK(input.dim(2) >= kernel && input.dim(3) >= kernel,
+                 "pool window larger than input");
+    INSITU_CHECK(stride > 0 && kernel > 0, "invalid pool config");
+}
+
+int64_t
+pool_out(int64_t in, int64_t kernel, int64_t stride)
+{
+    return (in - kernel) / stride + 1;
+}
+
+} // namespace
+
+MaxPool2d::MaxPool2d(std::string name, int64_t kernel, int64_t stride)
+    : kernel_(kernel), stride_(stride)
+{
+    set_name(std::move(name));
+}
+
+Tensor
+MaxPool2d::forward(const Tensor& input, bool /*training*/)
+{
+    check_pool_input(input, kernel_, stride_);
+    cached_in_shape_ = input.shape();
+    const int64_t batch = input.dim(0), ch = input.dim(1);
+    const int64_t ih = input.dim(2), iw = input.dim(3);
+    const int64_t oh = pool_out(ih, kernel_, stride_);
+    const int64_t ow = pool_out(iw, kernel_, stride_);
+    Tensor out({batch, ch, oh, ow});
+    argmax_.assign(static_cast<size_t>(out.numel()), 0);
+    const float* in = input.data();
+    float* po = out.data();
+    int64_t oi = 0;
+    for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t c = 0; c < ch; ++c) {
+            const float* plane = in + (b * ch + c) * ih * iw;
+            for (int64_t y = 0; y < oh; ++y) {
+                for (int64_t x = 0; x < ow; ++x, ++oi) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    int64_t best_idx = 0;
+                    for (int64_t ky = 0; ky < kernel_; ++ky) {
+                        for (int64_t kx = 0; kx < kernel_; ++kx) {
+                            const int64_t iy = y * stride_ + ky;
+                            const int64_t ix = x * stride_ + kx;
+                            const int64_t idx = iy * iw + ix;
+                            if (plane[idx] > best) {
+                                best = plane[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    po[oi] = best;
+                    argmax_[static_cast<size_t>(oi)] =
+                        static_cast<int32_t>(best_idx);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+MaxPool2d::backward(const Tensor& grad_output)
+{
+    INSITU_CHECK(!cached_in_shape_.empty(),
+                 "maxpool backward before forward");
+    Tensor grad_input(cached_in_shape_);
+    const int64_t batch = cached_in_shape_[0], ch = cached_in_shape_[1];
+    const int64_t ih = cached_in_shape_[2], iw = cached_in_shape_[3];
+    const int64_t per_plane_out =
+        grad_output.numel() / std::max<int64_t>(batch * ch, 1);
+    INSITU_CHECK(static_cast<size_t>(grad_output.numel()) ==
+                     argmax_.size(),
+                 "maxpool grad_output shape mismatch");
+    const float* go = grad_output.data();
+    float* gi = grad_input.data();
+    int64_t oi = 0;
+    for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t c = 0; c < ch; ++c) {
+            float* plane = gi + (b * ch + c) * ih * iw;
+            for (int64_t i = 0; i < per_plane_out; ++i, ++oi)
+                plane[argmax_[static_cast<size_t>(oi)]] += go[oi];
+        }
+    }
+    return grad_input;
+}
+
+std::string
+MaxPool2d::describe() const
+{
+    std::ostringstream oss;
+    oss << "maxpool k" << kernel_ << " s" << stride_;
+    return oss.str();
+}
+
+AvgPool2d::AvgPool2d(std::string name, int64_t kernel, int64_t stride)
+    : kernel_(kernel), stride_(stride)
+{
+    set_name(std::move(name));
+}
+
+Tensor
+AvgPool2d::forward(const Tensor& input, bool /*training*/)
+{
+    check_pool_input(input, kernel_, stride_);
+    cached_in_shape_ = input.shape();
+    const int64_t batch = input.dim(0), ch = input.dim(1);
+    const int64_t ih = input.dim(2), iw = input.dim(3);
+    const int64_t oh = pool_out(ih, kernel_, stride_);
+    const int64_t ow = pool_out(iw, kernel_, stride_);
+    Tensor out({batch, ch, oh, ow});
+    const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+    const float* in = input.data();
+    float* po = out.data();
+    int64_t oi = 0;
+    for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t c = 0; c < ch; ++c) {
+            const float* plane = in + (b * ch + c) * ih * iw;
+            for (int64_t y = 0; y < oh; ++y) {
+                for (int64_t x = 0; x < ow; ++x, ++oi) {
+                    float acc = 0.0f;
+                    for (int64_t ky = 0; ky < kernel_; ++ky)
+                        for (int64_t kx = 0; kx < kernel_; ++kx)
+                            acc += plane[(y * stride_ + ky) * iw +
+                                         x * stride_ + kx];
+                    po[oi] = acc * inv;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+AvgPool2d::backward(const Tensor& grad_output)
+{
+    INSITU_CHECK(!cached_in_shape_.empty(),
+                 "avgpool backward before forward");
+    Tensor grad_input(cached_in_shape_);
+    const int64_t batch = cached_in_shape_[0], ch = cached_in_shape_[1];
+    const int64_t ih = cached_in_shape_[2], iw = cached_in_shape_[3];
+    const int64_t oh = pool_out(ih, kernel_, stride_);
+    const int64_t ow = pool_out(iw, kernel_, stride_);
+    INSITU_CHECK(grad_output.rank() == 4 && grad_output.dim(2) == oh &&
+                     grad_output.dim(3) == ow,
+                 "avgpool grad_output shape mismatch");
+    const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+    const float* go = grad_output.data();
+    float* gi = grad_input.data();
+    int64_t oi = 0;
+    for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t c = 0; c < ch; ++c) {
+            float* plane = gi + (b * ch + c) * ih * iw;
+            for (int64_t y = 0; y < oh; ++y) {
+                for (int64_t x = 0; x < ow; ++x, ++oi) {
+                    const float g = go[oi] * inv;
+                    for (int64_t ky = 0; ky < kernel_; ++ky)
+                        for (int64_t kx = 0; kx < kernel_; ++kx)
+                            plane[(y * stride_ + ky) * iw +
+                                  x * stride_ + kx] += g;
+                }
+            }
+        }
+    }
+    return grad_input;
+}
+
+std::string
+AvgPool2d::describe() const
+{
+    std::ostringstream oss;
+    oss << "avgpool k" << kernel_ << " s" << stride_;
+    return oss.str();
+}
+
+} // namespace insitu

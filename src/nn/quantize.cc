@@ -1,0 +1,190 @@
+#include "nn/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace insitu {
+
+double
+QuantizedModel::payload_bytes() const
+{
+    double bytes = 0.0;
+    for (const auto& p : params) {
+        bytes += static_cast<double>(p.codes.size()); // 1 B/code
+        bytes += 4.0;                                 // scale
+        bytes += 8.0 * static_cast<double>(p.shape.size());
+        bytes += static_cast<double>(p.name.size()) + 4.0;
+    }
+    return bytes;
+}
+
+QuantizedModel
+quantize_weights(const Network& net)
+{
+    QuantizedModel model;
+    for (const auto& param : net.params()) {
+        QuantizedParam q;
+        q.name = param->name();
+        q.shape = param->value().shape();
+        const float* w = param->value().data();
+        const int64_t n = param->value().numel();
+        float max_abs = 0.0f;
+        for (int64_t i = 0; i < n; ++i)
+            max_abs = std::max(max_abs, std::abs(w[i]));
+        q.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+        q.codes.resize(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i) {
+            const float code = std::round(w[i] / q.scale);
+            q.codes[static_cast<size_t>(i)] = static_cast<int8_t>(
+                std::clamp(code, -127.0f, 127.0f));
+        }
+        model.params.push_back(std::move(q));
+    }
+    return model;
+}
+
+bool
+dequantize_into(Network& net, const QuantizedModel& model)
+{
+    const auto params = net.params();
+    if (params.size() != model.params.size()) {
+        warn("quantized model has " +
+             std::to_string(model.params.size()) +
+             " params, network has " + std::to_string(params.size()));
+        return false;
+    }
+    for (size_t i = 0; i < params.size(); ++i) {
+        const QuantizedParam& q = model.params[i];
+        if (q.name != params[i]->name() ||
+            q.shape != params[i]->value().shape()) {
+            warn("quantized parameter mismatch at '" + q.name + "'");
+            return false;
+        }
+        float* w = params[i]->value().data();
+        for (size_t j = 0; j < q.codes.size(); ++j)
+            w[j] = static_cast<float>(q.codes[j]) * q.scale;
+    }
+    return true;
+}
+
+double
+quantization_error(const Network& net, const QuantizedModel& model)
+{
+    const auto params = net.params();
+    INSITU_CHECK(params.size() == model.params.size(),
+                 "model/network mismatch");
+    double worst = 0.0;
+    for (size_t i = 0; i < params.size(); ++i) {
+        const QuantizedParam& q = model.params[i];
+        const float* w = params[i]->value().data();
+        for (size_t j = 0; j < q.codes.size(); ++j) {
+            const double deq =
+                static_cast<double>(q.codes[j]) * q.scale;
+            worst = std::max(worst, std::abs(deq - w[j]));
+        }
+    }
+    return worst;
+}
+
+double
+float_payload_bytes(const Network& net)
+{
+    double bytes = 0.0;
+    for (const auto& p : net.params())
+        bytes += 4.0 * static_cast<double>(p->numel());
+    return bytes;
+}
+
+namespace {
+
+constexpr uint32_t kQuantMagic = 0x1A51'0801; // "insitu int8 v1"
+
+template <typename T>
+void
+write_pod(std::ostream& os, const T& v)
+{
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool
+read_pod(std::istream& is, T& v)
+{
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return static_cast<bool>(is);
+}
+
+} // namespace
+
+bool
+save_quantized_file(const QuantizedModel& model,
+                    const std::string& path)
+{
+    std::ofstream ofs(path, std::ios::binary);
+    if (!ofs) {
+        warn("cannot open " + path + " for writing");
+        return false;
+    }
+    write_pod(ofs, kQuantMagic);
+    write_pod(ofs, static_cast<uint32_t>(model.params.size()));
+    for (const auto& p : model.params) {
+        write_pod(ofs, static_cast<uint32_t>(p.name.size()));
+        ofs.write(p.name.data(),
+                  static_cast<std::streamsize>(p.name.size()));
+        write_pod(ofs, static_cast<uint32_t>(p.shape.size()));
+        for (int64_t d : p.shape) write_pod(ofs, d);
+        write_pod(ofs, p.scale);
+        write_pod(ofs, static_cast<uint64_t>(p.codes.size()));
+        ofs.write(reinterpret_cast<const char*>(p.codes.data()),
+                  static_cast<std::streamsize>(p.codes.size()));
+    }
+    return static_cast<bool>(ofs);
+}
+
+std::optional<QuantizedModel>
+load_quantized_file(const std::string& path)
+{
+    std::ifstream ifs(path, std::ios::binary);
+    if (!ifs) {
+        warn("cannot open " + path);
+        return std::nullopt;
+    }
+    uint32_t magic = 0, count = 0;
+    if (!read_pod(ifs, magic) || magic != kQuantMagic) {
+        warn("bad quantized-model magic in " + path);
+        return std::nullopt;
+    }
+    if (!read_pod(ifs, count) || count > 1'000'000)
+        return std::nullopt;
+    QuantizedModel model;
+    for (uint32_t i = 0; i < count; ++i) {
+        QuantizedParam p;
+        uint32_t name_len = 0;
+        if (!read_pod(ifs, name_len) || name_len > 4096)
+            return std::nullopt;
+        p.name.resize(name_len);
+        ifs.read(p.name.data(), name_len);
+        uint32_t rank = 0;
+        if (!ifs || !read_pod(ifs, rank) || rank > 8)
+            return std::nullopt;
+        p.shape.resize(rank);
+        for (auto& d : p.shape)
+            if (!read_pod(ifs, d)) return std::nullopt;
+        uint64_t codes = 0;
+        if (!read_pod(ifs, p.scale) || !read_pod(ifs, codes) ||
+            codes > (1ULL << 32))
+            return std::nullopt;
+        p.codes.resize(static_cast<size_t>(codes));
+        ifs.read(reinterpret_cast<char*>(p.codes.data()),
+                 static_cast<std::streamsize>(codes));
+        if (!ifs) return std::nullopt;
+        model.params.push_back(std::move(p));
+    }
+    return model;
+}
+
+} // namespace insitu

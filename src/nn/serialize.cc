@@ -1,0 +1,129 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace insitu {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x1A51'70A1; // "insitu ai"
+
+void
+write_u32(std::ostream& os, uint32_t v)
+{
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void
+write_i64(std::ostream& os, int64_t v)
+{
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool
+read_u32(std::istream& is, uint32_t& v)
+{
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return static_cast<bool>(is);
+}
+
+bool
+read_i64(std::istream& is, int64_t& v)
+{
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return static_cast<bool>(is);
+}
+
+} // namespace
+
+void
+save_weights(const Network& net, std::ostream& os)
+{
+    const auto params = net.params();
+    write_u32(os, kMagic);
+    write_u32(os, static_cast<uint32_t>(params.size()));
+    for (const auto& p : params) {
+        const std::string& name = p->name();
+        write_u32(os, static_cast<uint32_t>(name.size()));
+        os.write(name.data(),
+                 static_cast<std::streamsize>(name.size()));
+        write_u32(os, static_cast<uint32_t>(p->value().rank()));
+        for (int64_t d : p->value().shape()) write_i64(os, d);
+        os.write(reinterpret_cast<const char*>(p->value().data()),
+                 static_cast<std::streamsize>(p->value().numel() *
+                                              sizeof(float)));
+    }
+}
+
+bool
+save_weights_file(const Network& net, const std::string& path)
+{
+    std::ofstream ofs(path, std::ios::binary);
+    if (!ofs) {
+        warn("cannot open " + path + " for writing");
+        return false;
+    }
+    save_weights(net, ofs);
+    return static_cast<bool>(ofs);
+}
+
+bool
+load_weights(Network& net, std::istream& is)
+{
+    uint32_t magic = 0, count = 0;
+    if (!read_u32(is, magic) || magic != kMagic) {
+        warn("weight stream has bad magic");
+        return false;
+    }
+    if (!read_u32(is, count)) return false;
+    const auto params = net.params();
+    if (count != params.size()) {
+        warn("weight stream has " + std::to_string(count) +
+             " params, network has " + std::to_string(params.size()));
+        return false;
+    }
+    for (const auto& p : params) {
+        uint32_t name_len = 0;
+        if (!read_u32(is, name_len) || name_len > 4096) return false;
+        std::string name(name_len, '\0');
+        is.read(name.data(), name_len);
+        if (!is) return false;
+        if (name != p->name()) {
+            warn("weight stream param '" + name +
+                 "' does not match network param '" + p->name() + "'");
+            return false;
+        }
+        uint32_t rank = 0;
+        if (!read_u32(is, rank) || rank > 8) return false;
+        std::vector<int64_t> shape(rank);
+        for (auto& d : shape)
+            if (!read_i64(is, d)) return false;
+        if (shape != p->value().shape()) {
+            warn("shape mismatch loading '" + name + "'");
+            return false;
+        }
+        is.read(reinterpret_cast<char*>(p->value().data()),
+                static_cast<std::streamsize>(p->value().numel() *
+                                             sizeof(float)));
+        if (!is) return false;
+    }
+    return true;
+}
+
+bool
+load_weights_file(Network& net, const std::string& path)
+{
+    std::ifstream ifs(path, std::ios::binary);
+    if (!ifs) {
+        warn("cannot open " + path);
+        return false;
+    }
+    return load_weights(net, ifs);
+}
+
+} // namespace insitu

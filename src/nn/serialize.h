@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Binary (de)serialization of network weights.
+ *
+ * The format stores each distinct parameter as (name, shape, data);
+ * loading matches by position and validates name + shape, modelling
+ * the "deploy initialized models to the In-situ node" step of Fig. 4.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/network.h"
+
+namespace insitu {
+
+/** Serialize all distinct parameters of @p net to @p os. */
+void save_weights(const Network& net, std::ostream& os);
+
+/** Save to a file; returns false (with a warning) on I/O error. */
+bool save_weights_file(const Network& net, const std::string& path);
+
+/**
+ * Load weights saved by save_weights into @p net.
+ * @return false if the stream is malformed or incompatible (the
+ *         network is left partially updated only on shape mismatch,
+ *         never silently).
+ */
+bool load_weights(Network& net, std::istream& is);
+
+/** Load from a file; returns false on I/O error or mismatch. */
+bool load_weights_file(Network& net, const std::string& path);
+
+} // namespace insitu

@@ -1,0 +1,108 @@
+#include "nn/trainer.h"
+
+#include <chrono>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace insitu {
+
+double
+train_batch(Network& net, Sgd& opt, const Tensor& inputs,
+            const std::vector<int64_t>& labels)
+{
+    net.zero_grad();
+    const Tensor logits = net.forward(inputs, /*training=*/true);
+    SoftmaxCrossEntropy loss;
+    const double value = loss.forward(logits, labels);
+    net.backward(loss.backward());
+    opt.step(net.params());
+    return value;
+}
+
+double
+evaluate_accuracy(Network& net, const Tensor& inputs,
+                  const std::vector<int64_t>& labels,
+                  int64_t batch_size)
+{
+    const int64_t n = inputs.dim(0);
+    INSITU_CHECK(static_cast<int64_t>(labels.size()) == n,
+                 "evaluate: label count mismatch");
+    if (n == 0) return 0.0;
+    int64_t correct = 0;
+    for (int64_t begin = 0; begin < n; begin += batch_size) {
+        const int64_t end = std::min(n, begin + batch_size);
+        const Tensor chunk = inputs.slice0(begin, end);
+        const Tensor logits = net.forward(chunk, /*training=*/false);
+        const auto preds = logits.argmax_rows();
+        for (int64_t i = 0; i < end - begin; ++i)
+            if (preds[static_cast<size_t>(i)] ==
+                labels[static_cast<size_t>(begin + i)])
+                ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+Tensor
+gather_rows(const Tensor& inputs, const std::vector<int64_t>& indices)
+{
+    INSITU_CHECK(inputs.rank() >= 1, "gather_rows needs rank >= 1");
+    std::vector<int64_t> shape = inputs.shape();
+    shape[0] = static_cast<int64_t>(indices.size());
+    Tensor out(shape);
+    const int64_t inner =
+        inputs.numel() / std::max<int64_t>(inputs.dim(0), 1);
+    for (size_t i = 0; i < indices.size(); ++i) {
+        const int64_t src = indices[i];
+        INSITU_CHECK(src >= 0 && src < inputs.dim(0),
+                     "gather_rows index out of range");
+        std::copy(inputs.data() + src * inner,
+                  inputs.data() + (src + 1) * inner,
+                  out.data() + static_cast<int64_t>(i) * inner);
+    }
+    return out;
+}
+
+std::vector<EpochStats>
+train_epochs(Network& net, Sgd& opt, const Tensor& inputs,
+             const std::vector<int64_t>& labels, int64_t batch_size,
+             int epochs, Rng& rng)
+{
+    const int64_t n = inputs.dim(0);
+    INSITU_CHECK(static_cast<int64_t>(labels.size()) == n,
+                 "train: label count mismatch");
+    INSITU_CHECK(batch_size > 0, "batch size must be positive");
+    std::vector<int64_t> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+
+    std::vector<EpochStats> stats;
+    for (int e = 0; e < epochs; ++e) {
+        const auto t0 = std::chrono::steady_clock::now();
+        rng.shuffle(order);
+        double loss_acc = 0.0;
+        int64_t batches = 0;
+        for (int64_t begin = 0; begin < n; begin += batch_size) {
+            const int64_t end = std::min(n, begin + batch_size);
+            std::vector<int64_t> idx(
+                order.begin() + static_cast<size_t>(begin),
+                order.begin() + static_cast<size_t>(end));
+            const Tensor x = gather_rows(inputs, idx);
+            std::vector<int64_t> y(idx.size());
+            for (size_t i = 0; i < idx.size(); ++i)
+                y[i] = labels[static_cast<size_t>(idx[i])];
+            loss_acc += train_batch(net, opt, x, y);
+            ++batches;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        EpochStats es;
+        es.mean_loss =
+            batches ? loss_acc / static_cast<double>(batches) : 0.0;
+        es.train_seconds =
+            std::chrono::duration<double>(t1 - t0).count();
+        stats.push_back(es);
+    }
+    return stats;
+}
+
+} // namespace insitu

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Mini-batch training and evaluation helpers.
+ */
+#pragma once
+
+#include <vector>
+
+#include "nn/loss.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+
+namespace insitu {
+
+class Rng;
+
+/** One optimizer step on a single batch; returns the batch loss. */
+double train_batch(Network& net, Sgd& opt, const Tensor& inputs,
+                   const std::vector<int64_t>& labels);
+
+/** Top-1 accuracy of @p net on (inputs, labels), evaluated in chunks
+ *  of @p batch_size to bound memory. */
+double evaluate_accuracy(Network& net, const Tensor& inputs,
+                         const std::vector<int64_t>& labels,
+                         int64_t batch_size = 64);
+
+/** Epoch-level report from train_epochs. */
+struct EpochStats {
+    double mean_loss = 0.0;
+    double train_seconds = 0.0; ///< wall-clock time of the epoch
+};
+
+/**
+ * Train for @p epochs over (inputs, labels) with reshuffled batches.
+ * @return per-epoch statistics (loss, wall time).
+ */
+std::vector<EpochStats> train_epochs(Network& net, Sgd& opt,
+                                     const Tensor& inputs,
+                                     const std::vector<int64_t>& labels,
+                                     int64_t batch_size, int epochs,
+                                     Rng& rng);
+
+/** Gather rows of @p inputs (dim 0) given index list. */
+Tensor gather_rows(const Tensor& inputs,
+                   const std::vector<int64_t>& indices);
+
+} // namespace insitu

@@ -1,0 +1,97 @@
+#include "selfsup/permutation.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace insitu {
+
+namespace {
+
+PermutationSet::Perm
+random_perm(Rng& rng)
+{
+    PermutationSet::Perm p;
+    std::iota(p.begin(), p.end(), static_cast<uint8_t>(0));
+    for (size_t i = p.size(); i > 1; --i) {
+        const size_t j = static_cast<size_t>(rng.next_below(i));
+        std::swap(p[i - 1], p[j]);
+    }
+    return p;
+}
+
+} // namespace
+
+PermutationSet::PermutationSet(int count, Rng& rng, int candidates)
+{
+    INSITU_CHECK(count > 0, "permutation set must be non-empty");
+    INSITU_CHECK(candidates > 0, "need at least one candidate");
+    // 9! = 362880 distinct permutations; far more than any count we
+    // use, but guard the pathological request anyway.
+    INSITU_CHECK(count <= 362880, "more permutations than exist");
+    perms_.reserve(static_cast<size_t>(count));
+    // Seed with the identity so index 0 is always "unshuffled".
+    Perm identity;
+    std::iota(identity.begin(), identity.end(),
+              static_cast<uint8_t>(0));
+    perms_.push_back(identity);
+    while (static_cast<int>(perms_.size()) < count) {
+        Perm best{};
+        int best_score = -1;
+        for (int c = 0; c < candidates; ++c) {
+            const Perm cand = random_perm(rng);
+            int score = std::numeric_limits<int>::max();
+            for (const Perm& existing : perms_)
+                score = std::min(score, hamming(cand, existing));
+            if (score > best_score) {
+                best_score = score;
+                best = cand;
+            }
+        }
+        if (best_score == 0) continue; // duplicate; resample
+        perms_.push_back(best);
+    }
+}
+
+const PermutationSet::Perm&
+PermutationSet::perm(int index) const
+{
+    INSITU_CHECK(index >= 0 && index < size(),
+                 "permutation index out of range");
+    return perms_[static_cast<size_t>(index)];
+}
+
+int
+PermutationSet::hamming(const Perm& a, const Perm& b)
+{
+    int d = 0;
+    for (int i = 0; i < kTiles; ++i)
+        if (a[static_cast<size_t>(i)] != b[static_cast<size_t>(i)]) ++d;
+    return d;
+}
+
+int
+PermutationSet::min_hamming_distance() const
+{
+    int best = kTiles;
+    for (size_t i = 0; i < perms_.size(); ++i)
+        for (size_t j = i + 1; j < perms_.size(); ++j)
+            best = std::min(best, hamming(perms_[i], perms_[j]));
+    return best;
+}
+
+bool
+PermutationSet::is_valid(const Perm& p)
+{
+    std::array<bool, kTiles> seen{};
+    for (uint8_t v : p) {
+        if (v >= kTiles || seen[v]) return false;
+        seen[v] = true;
+    }
+    return true;
+}
+
+} // namespace insitu

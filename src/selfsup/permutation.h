@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Predefined permutation set for the jigsaw context-prediction task.
+ *
+ * The paper (Fig. 3, after Noroozi & Favaro) reorders the 3x3 tiles of
+ * an image by a permutation drawn from a predefined set; the pretext
+ * task is to classify *which* permutation was applied. The set is
+ * chosen to maximize the minimum pairwise Hamming distance so that
+ * permutation classes are visually distinguishable.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace insitu {
+
+class Rng;
+
+/** A fixed-size set of tile permutations with maximal spread. */
+class PermutationSet {
+  public:
+    /** Number of tiles in the 3x3 grid. */
+    static constexpr int kTiles = 9;
+
+    using Perm = std::array<uint8_t, kTiles>;
+
+    /**
+     * Greedily build @p count permutations of 9 tiles maximizing the
+     * minimum Hamming distance to previously selected ones, sampling
+     * @p candidates random candidates per step.
+     */
+    PermutationSet(int count, Rng& rng, int candidates = 256);
+
+    /** Number of permutations (== number of pretext classes). */
+    int size() const { return static_cast<int>(perms_.size()); }
+
+    /** Permutation @p index. perm[i] = source tile placed at slot i. */
+    const Perm& perm(int index) const;
+
+    /** Smallest pairwise Hamming distance within the set. */
+    int min_hamming_distance() const;
+
+    /** Hamming distance between two permutations. */
+    static int hamming(const Perm& a, const Perm& b);
+
+    /** True if @p p is a valid permutation of 0..8. */
+    static bool is_valid(const Perm& p);
+
+  private:
+    std::vector<Perm> perms_;
+};
+
+} // namespace insitu

@@ -1,0 +1,211 @@
+#include "tensor/ops.h"
+
+#include "util/logging.h"
+
+namespace insitu {
+
+Tensor
+matmul(const Tensor& a, const Tensor& b)
+{
+    INSITU_CHECK(a.rank() == 2 && b.rank() == 2, "matmul needs rank 2");
+    const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    INSITU_CHECK(b.dim(0) == k, "matmul inner dims: ", k, " vs ",
+                 b.dim(0));
+    Tensor c({m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    // ikj loop order: streams B and C rows, good cache behaviour
+    // without an explicit blocked kernel.
+    for (int64_t i = 0; i < m; ++i) {
+        float* crow = pc + i * n;
+        for (int64_t kk = 0; kk < k; ++kk) {
+            const float av = pa[i * k + kk];
+            if (av == 0.0f) continue;
+            const float* brow = pb + kk * n;
+            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmul_ta(const Tensor& a, const Tensor& b)
+{
+    INSITU_CHECK(a.rank() == 2 && b.rank() == 2,
+                 "matmul_ta needs rank 2");
+    const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+    INSITU_CHECK(b.dim(0) == k, "matmul_ta inner dims");
+    Tensor c({m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    for (int64_t kk = 0; kk < k; ++kk) {
+        const float* arow = pa + kk * m;
+        const float* brow = pb + kk * n;
+        for (int64_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f) continue;
+            float* crow = pc + i * n;
+            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmul_tb(const Tensor& a, const Tensor& b)
+{
+    INSITU_CHECK(a.rank() == 2 && b.rank() == 2,
+                 "matmul_tb needs rank 2");
+    const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+    INSITU_CHECK(b.dim(1) == k, "matmul_tb inner dims");
+    Tensor c({m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    for (int64_t i = 0; i < m; ++i) {
+        const float* arow = pa + i * k;
+        float* crow = pc + i * n;
+        for (int64_t j = 0; j < n; ++j) {
+            const float* brow = pb + j * k;
+            float acc = 0.0f;
+            for (int64_t kk = 0; kk < k; ++kk)
+                acc += arow[kk] * brow[kk];
+            crow[j] = acc;
+        }
+    }
+    return c;
+}
+
+Tensor
+im2col(const Tensor& input, int64_t batch_index, const ConvGeometry& g)
+{
+    INSITU_CHECK(input.rank() == 4, "im2col expects NCHW input");
+    INSITU_CHECK(input.dim(1) == g.in_channels &&
+                     input.dim(2) == g.in_h && input.dim(3) == g.in_w,
+                 "im2col geometry mismatch");
+    INSITU_CHECK(batch_index >= 0 && batch_index < input.dim(0),
+                 "im2col batch index");
+    const int64_t oh = g.out_h(), ow = g.out_w();
+    INSITU_CHECK(oh > 0 && ow > 0, "conv output would be empty");
+    Tensor cols({g.in_channels * g.kernel * g.kernel, oh * ow});
+    const float* in = input.data() +
+                      batch_index * g.in_channels * g.in_h * g.in_w;
+    float* out = cols.data();
+    const int64_t ncols = oh * ow;
+    for (int64_t c = 0; c < g.in_channels; ++c) {
+        for (int64_t ky = 0; ky < g.kernel; ++ky) {
+            for (int64_t kx = 0; kx < g.kernel; ++kx) {
+                const int64_t row =
+                    (c * g.kernel + ky) * g.kernel + kx;
+                float* dst = out + row * ncols;
+                for (int64_t y = 0; y < oh; ++y) {
+                    const int64_t iy = y * g.stride + ky - g.pad;
+                    for (int64_t x = 0; x < ow; ++x) {
+                        const int64_t ix = x * g.stride + kx - g.pad;
+                        float v = 0.0f;
+                        if (iy >= 0 && iy < g.in_h && ix >= 0 &&
+                            ix < g.in_w) {
+                            v = in[(c * g.in_h + iy) * g.in_w + ix];
+                        }
+                        dst[y * ow + x] = v;
+                    }
+                }
+            }
+        }
+    }
+    return cols;
+}
+
+Tensor
+conv2d_direct(const Tensor& input, const Tensor& weight,
+              const Tensor& bias, const ConvGeometry& g)
+{
+    INSITU_CHECK(input.rank() == 4 && weight.rank() == 4 &&
+                     bias.rank() == 1,
+                 "conv2d_direct shape ranks");
+    const int64_t batch = input.dim(0);
+    const int64_t m = weight.dim(0);
+    INSITU_CHECK(input.dim(1) == g.in_channels &&
+                     weight.dim(1) == g.in_channels &&
+                     weight.dim(2) == g.kernel &&
+                     weight.dim(3) == g.kernel && bias.dim(0) == m,
+                 "conv2d_direct geometry mismatch");
+    const int64_t oh = g.out_h(), ow = g.out_w();
+    Tensor out({batch, m, oh, ow});
+    const float* in = input.data();
+    const float* w = weight.data();
+    const float* pb = bias.data();
+    float* po = out.data();
+    // The Fig. 9 loop nest: output maps, input maps, spatial, kernel.
+    for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t f = 0; f < m; ++f) {
+            float* plane = po + (b * m + f) * oh * ow;
+            for (int64_t i = 0; i < oh * ow; ++i) plane[i] = pb[f];
+            for (int64_t c = 0; c < g.in_channels; ++c) {
+                const float* src =
+                    in + (b * g.in_channels + c) * g.in_h * g.in_w;
+                const float* kern =
+                    w + (f * g.in_channels + c) * g.kernel * g.kernel;
+                for (int64_t y = 0; y < oh; ++y) {
+                    for (int64_t x = 0; x < ow; ++x) {
+                        float acc = 0.0f;
+                        for (int64_t ky = 0; ky < g.kernel; ++ky) {
+                            const int64_t iy =
+                                y * g.stride + ky - g.pad;
+                            if (iy < 0 || iy >= g.in_h) continue;
+                            for (int64_t kx = 0; kx < g.kernel;
+                                 ++kx) {
+                                const int64_t ix =
+                                    x * g.stride + kx - g.pad;
+                                if (ix < 0 || ix >= g.in_w) continue;
+                                acc += src[iy * g.in_w + ix] *
+                                       kern[ky * g.kernel + kx];
+                            }
+                        }
+                        plane[y * ow + x] += acc;
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+void
+col2im_accumulate(const Tensor& cols, Tensor& grad_input,
+                  int64_t batch_index, const ConvGeometry& g)
+{
+    INSITU_CHECK(grad_input.rank() == 4, "col2im expects NCHW grad");
+    const int64_t oh = g.out_h(), ow = g.out_w();
+    INSITU_CHECK(cols.rank() == 2 &&
+                     cols.dim(0) == g.in_channels * g.kernel * g.kernel &&
+                     cols.dim(1) == oh * ow,
+                 "col2im cols shape mismatch");
+    float* out = grad_input.data() +
+                 batch_index * g.in_channels * g.in_h * g.in_w;
+    const float* in = cols.data();
+    const int64_t ncols = oh * ow;
+    for (int64_t c = 0; c < g.in_channels; ++c) {
+        for (int64_t ky = 0; ky < g.kernel; ++ky) {
+            for (int64_t kx = 0; kx < g.kernel; ++kx) {
+                const int64_t row =
+                    (c * g.kernel + ky) * g.kernel + kx;
+                const float* src = in + row * ncols;
+                for (int64_t y = 0; y < oh; ++y) {
+                    const int64_t iy = y * g.stride + ky - g.pad;
+                    if (iy < 0 || iy >= g.in_h) continue;
+                    for (int64_t x = 0; x < ow; ++x) {
+                        const int64_t ix = x * g.stride + kx - g.pad;
+                        if (ix < 0 || ix >= g.in_w) continue;
+                        out[(c * g.in_h + iy) * g.in_w + ix] +=
+                            src[y * ow + x];
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace insitu

@@ -1,0 +1,64 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace insitu {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    INSITU_CHECK(!headers_.empty(), "csv needs at least one column");
+}
+
+void
+CsvWriter::add_row(const std::vector<std::string>& cells)
+{
+    INSITU_CHECK(cells.size() == headers_.size(),
+                 "csv row arity mismatch");
+    rows_.push_back(cells);
+}
+
+std::string
+CsvWriter::escape(const std::string& cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"') out += "\"\"";
+        else out += ch;
+    }
+    out += "\"";
+    return out;
+}
+
+std::string
+CsvWriter::to_string() const
+{
+    auto render = [](const std::vector<std::string>& row) {
+        std::string line;
+        for (size_t i = 0; i < row.size(); ++i) {
+            if (i) line += ",";
+            line += escape(row[i]);
+        }
+        return line + "\n";
+    };
+    std::string out = render(headers_);
+    for (const auto& row : rows_) out += render(row);
+    return out;
+}
+
+bool
+CsvWriter::write_file(const std::string& path) const
+{
+    std::ofstream ofs(path);
+    if (!ofs) {
+        warn("could not open " + path + " for writing");
+        return false;
+    }
+    ofs << to_string();
+    return static_cast<bool>(ofs);
+}
+
+} // namespace insitu

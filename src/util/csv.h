@@ -1,0 +1,39 @@
+/**
+ * @file
+ * CSV emission for experiment results.
+ *
+ * Bench binaries optionally dump their series as CSV so downstream
+ * plotting (e.g. regenerating the paper's figures) needs no parsing of
+ * the human-readable tables.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace insitu {
+
+/** Accumulates rows and writes RFC-4180-ish CSV (quotes cells that need
+ * them). */
+class CsvWriter {
+  public:
+    /** Create a writer with the given column headers. */
+    explicit CsvWriter(std::vector<std::string> headers);
+
+    /** Append one row; must match header arity. */
+    void add_row(const std::vector<std::string>& cells);
+
+    /** Serialize header + rows. */
+    std::string to_string() const;
+
+    /** Write to @p path; returns false (and warns) on I/O failure. */
+    bool write_file(const std::string& path) const;
+
+  private:
+    static std::string escape(const std::string& cell);
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace insitu

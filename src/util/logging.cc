@@ -1,0 +1,59 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace insitu {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+} // namespace
+
+void
+set_log_level(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+log_level()
+{
+    return g_level;
+}
+
+void
+inform(const std::string& msg)
+{
+    if (g_level >= LogLevel::kInfo)
+        std::fprintf(stderr, "[info] %s\n", msg.c_str());
+}
+
+void
+warn(const std::string& msg)
+{
+    if (g_level >= LogLevel::kWarn)
+        std::fprintf(stderr, "[warn] %s\n", msg.c_str());
+}
+
+void
+debug(const std::string& msg)
+{
+    if (g_level >= LogLevel::kDebug)
+        std::fprintf(stderr, "[debug] %s\n", msg.c_str());
+}
+
+void
+fatal(const std::string& msg)
+{
+    std::fprintf(stderr, "[fatal] %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+panic(const std::string& msg)
+{
+    std::fprintf(stderr, "[panic] %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace insitu

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal leveled logging and fatal-error helpers.
+ *
+ * Follows the gem5 convention: fatal() is for user/configuration errors
+ * (clean exit), panic()/INSITU_CHECK is for internal invariant
+ * violations (abort). Informational output goes through inform()/warn()
+ * so callers can silence it globally (useful in tests and benches).
+ */
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace insitu {
+
+/** Global verbosity levels, lowest to highest. */
+enum class LogLevel { kSilent = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/** Set the process-wide log level (default: kInfo). */
+void set_log_level(LogLevel level);
+
+/** Current process-wide log level. */
+LogLevel log_level();
+
+/** Emit an informational message (suppressed below kInfo). */
+void inform(const std::string& msg);
+
+/** Emit a warning (suppressed below kWarn). */
+void warn(const std::string& msg);
+
+/** Emit a debug message (suppressed below kDebug). */
+void debug(const std::string& msg);
+
+/**
+ * Terminate due to a user-facing error (bad configuration, impossible
+ * request). Prints the message and exits with status 1.
+ */
+[[noreturn]] void fatal(const std::string& msg);
+
+/**
+ * Terminate due to an internal invariant violation (a library bug).
+ * Prints the message and aborts.
+ */
+[[noreturn]] void panic(const std::string& msg);
+
+namespace detail {
+
+/** Stream-compose helper used by the check macro. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Abort with a diagnostic when @p cond is false. Always enabled. */
+#define INSITU_CHECK(cond, ...)                                            \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::insitu::panic(::insitu::detail::concat(                      \
+                "check failed: ", #cond, " at ", __FILE__, ":", __LINE__,  \
+                " ", ##__VA_ARGS__));                                      \
+        }                                                                  \
+    } while (0)
+
+} // namespace insitu

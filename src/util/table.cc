@@ -1,0 +1,70 @@
+#include "util/table.h"
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace insitu {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    INSITU_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::add_row(std::vector<std::string> cells)
+{
+    INSITU_CHECK(cells.size() == headers_.size(),
+                 "row arity ", cells.size(), " != header arity ",
+                 headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+TablePrinter::to_string() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string>& row) {
+        std::string out = "|";
+        for (size_t c = 0; c < row.size(); ++c) {
+            out += " " + row[c] +
+                   std::string(widths[c] - row[c].size(), ' ') + " |";
+        }
+        return out + "\n";
+    };
+
+    std::string rule = "|";
+    for (size_t c = 0; c < widths.size(); ++c)
+        rule += std::string(widths[c] + 2, '-') + "|";
+    rule += "\n";
+
+    std::string out = render_row(headers_);
+    out += rule;
+    for (const auto& row : rows_) out += render_row(row);
+    return out;
+}
+
+void
+TablePrinter::print(std::ostream& os) const
+{
+    os << to_string();
+}
+
+} // namespace insitu

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ASCII table rendering for benchmark and experiment reports.
+ *
+ * Every bench binary in this repository reproduces one table or figure
+ * from the paper; TablePrinter renders the paper-vs-measured rows in a
+ * uniform, diff-friendly format.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace insitu {
+
+/**
+ * Accumulates rows of string cells and renders them as an aligned
+ * ASCII table with a header rule.
+ */
+class TablePrinter {
+  public:
+    /** Create a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one row; must have the same arity as the header. */
+    void add_row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render the table to a string (trailing newline included). */
+    std::string to_string() const;
+
+    /** Render the table to @p os. */
+    void print(std::ostream& os) const;
+
+    /** Number of data rows added so far. */
+    size_t row_count() const { return rows_.size(); }
+
+    /** Column headers (for re-serialization, e.g. to CSV). */
+    const std::vector<std::string>& headers() const { return headers_; }
+
+    /** Raw data rows. */
+    const std::vector<std::vector<std::string>>& rows() const
+    {
+        return rows_;
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace insitu

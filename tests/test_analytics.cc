@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the planners and the measured-GPU stand-in: mode
+ * selection, Single-running batch picking (time + resource models),
+ * Co-running configuration search, and the Fig. 21 relationships.
+ */
+#include <gtest/gtest.h>
+
+#include "analytics/measured.h"
+#include "analytics/planner.h"
+
+namespace insitu {
+namespace {
+
+TEST(Mode, SelectionFollowsAvailabilityRequirement)
+{
+    EXPECT_EQ(choose_working_mode(true), WorkingMode::kCoRunning);
+    EXPECT_EQ(choose_working_mode(false),
+              WorkingMode::kSingleRunning);
+    EXPECT_STREQ(working_mode_name(WorkingMode::kCoRunning),
+                 "Co-running");
+}
+
+TEST(SingleRunning, BatchGrowsWithLatencyBudget)
+{
+    SingleRunningPlanner planner{GpuModel(tx1_spec())};
+    const NetworkDesc net = alexnet_desc();
+    const int64_t strict = planner.max_batch_under_latency(net, 0.033);
+    const int64_t loose = planner.max_batch_under_latency(net, 0.5);
+    EXPECT_GE(strict, 1);
+    EXPECT_GT(loose, strict);
+}
+
+TEST(SingleRunning, PickedBatchMeetsLatency)
+{
+    GpuModel gpu(tx1_spec());
+    SingleRunningPlanner planner{gpu};
+    const NetworkDesc net = alexnet_desc();
+    for (double req : {0.033, 0.1, 0.4}) {
+        const int64_t b = planner.max_batch_under_latency(net, req);
+        if (b > 1) {
+            EXPECT_LE(gpu.network_latency(net, b), req);
+            EXPECT_GT(gpu.network_latency(net, b + 1), req);
+        }
+    }
+}
+
+TEST(SingleRunning, PlanPopulatesBothTasks)
+{
+    SingleRunningPlanner planner{GpuModel(tx1_spec())};
+    const auto plan = planner.plan(
+        alexnet_desc(), diagnosis_desc(alexnet_desc()), 0.1);
+    EXPECT_GE(plan.inference_batch, 1);
+    EXPECT_GT(plan.inference_perf_per_watt, 0.0);
+    // Diagnosis batch is memory-limited, not latency-limited, so it
+    // should be at least as large as the inference batch.
+    EXPECT_GE(plan.diagnosis_batch, plan.inference_batch);
+    EXPECT_LE(plan.diagnosis_memory_bytes,
+              planner.gpu().spec().mem_capacity);
+}
+
+TEST(SingleRunning, ModelPickBeatsNonBatching)
+{
+    // The heart of Fig. 21: the time-model pick outperforms the
+    // non-batching default on throughput.
+    GpuModel gpu(tx1_spec());
+    SingleRunningPlanner planner{gpu};
+    const NetworkDesc net = alexnet_desc();
+    const int64_t b = planner.max_batch_under_latency(net, 0.25);
+    EXPECT_GT(gpu.images_per_second(net, b),
+              2.0 * gpu.images_per_second(net, 1));
+}
+
+TEST(SingleRunning, VggGainSmallerThanAlexNet)
+{
+    // Fig. 21: AlexNet gains ~3x from batching, VGG only ~1.1x,
+    // because VGG already saturates the device at batch 1.
+    GpuModel gpu(tx1_spec());
+    SingleRunningPlanner planner{gpu};
+    auto gain = [&](const NetworkDesc& net) {
+        const int64_t b = planner.max_batch_under_latency(net, 2.0);
+        return gpu.images_per_second(net, b) /
+               gpu.images_per_second(net, 1);
+    };
+    EXPECT_GT(gain(alexnet_desc()), 1.5 * gain(vgg16_desc()));
+}
+
+TEST(CoRunning, PlanFitsDspAndLatency)
+{
+    CoRunningPlanner planner{FpgaModel(vx690t_spec())};
+    const auto plan = planner.plan(alexnet_desc(), 0.2);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_TRUE(planner.fpga().fits_dsp(plan.config));
+    EXPECT_LE(plan.latency, 0.2);
+    EXPECT_GT(plan.throughput, 0.0);
+}
+
+TEST(CoRunning, LooserLatencyNeverHurtsThroughput)
+{
+    CoRunningPlanner planner{FpgaModel(vx690t_spec())};
+    const NetworkDesc net = alexnet_desc();
+    double prev = 0.0;
+    for (double req : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+        const auto plan = planner.plan(net, req);
+        ASSERT_TRUE(plan.feasible) << req;
+        EXPECT_GE(plan.throughput, prev * 0.999);
+        prev = plan.throughput;
+    }
+}
+
+TEST(MeasuredGpu, DeviatesFromModelBoundedly)
+{
+    GpuModel model(tx1_spec());
+    MeasuredGpu measured(model, MeasuredGpuConfig{});
+    const NetworkDesc net = alexnet_desc();
+    for (int64_t b : {1, 4, 16, 64}) {
+        const double m = model.network_latency(net, b);
+        const double r = measured.network_latency(net, b);
+        EXPECT_GT(r, 0.8 * m);
+        EXPECT_LT(r, 1.5 * m);
+    }
+}
+
+TEST(MeasuredGpu, Deterministic)
+{
+    MeasuredGpu a(GpuModel(tx1_spec()), MeasuredGpuConfig{});
+    MeasuredGpu b(GpuModel(tx1_spec()), MeasuredGpuConfig{});
+    EXPECT_DOUBLE_EQ(a.network_latency(alexnet_desc(), 8),
+                     b.network_latency(alexnet_desc(), 8));
+}
+
+TEST(MeasuredGpu, ProfiledBestRespectsLatency)
+{
+    MeasuredGpu measured(GpuModel(tx1_spec()), MeasuredGpuConfig{});
+    const NetworkDesc net = alexnet_desc();
+    const int64_t best = measured.best_batch_by_profiling(net, 0.2);
+    EXPECT_LE(measured.network_latency(net, best), 0.2);
+    // Brute force is at least as good as any single candidate.
+    EXPECT_GE(measured.images_per_second(net, best),
+              measured.images_per_second(net, 1));
+}
+
+TEST(MeasuredGpu, ModelPickCloseToProfiledBest)
+{
+    // Fig 21: "the performance achieved by our method is close to the
+    // best case" — within 15% on throughput.
+    GpuModel model(tx1_spec());
+    MeasuredGpu measured(model, MeasuredGpuConfig{});
+    SingleRunningPlanner planner{model};
+    const NetworkDesc net = alexnet_desc();
+    for (double req : {0.1, 0.25, 0.5}) {
+        const int64_t model_pick =
+            planner.max_batch_under_latency(net, req);
+        const int64_t best =
+            measured.best_batch_by_profiling(net, req);
+        const double model_tp =
+            measured.images_per_second(net, model_pick);
+        const double best_tp = measured.images_per_second(net, best);
+        EXPECT_GE(model_tp, 0.85 * best_tp) << "req " << req;
+    }
+}
+
+} // namespace
+} // namespace insitu

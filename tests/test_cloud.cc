@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the cloud side: the training cost model (layer
+ * freezing must cut cost) and the model-update service (pretraining,
+ * transfer, incremental updates, accounting).
+ */
+#include <gtest/gtest.h>
+
+#include "cloud/cost_model.h"
+#include "cloud/update_service.h"
+
+namespace insitu {
+namespace {
+
+TEST(CostModel, EpochOpsScaleWithImages)
+{
+    TrainingCostModel cost(titan_x_spec());
+    const NetworkDesc net = tinynet_desc();
+    EXPECT_DOUBLE_EQ(cost.epoch_ops(net, 200, 0),
+                     2.0 * cost.epoch_ops(net, 100, 0));
+}
+
+TEST(CostModel, FreezingReducesCost)
+{
+    // The weight-sharing payoff: updating only the suffix is cheaper.
+    TrainingCostModel cost(titan_x_spec());
+    const NetworkDesc net = tinynet_desc();
+    const double full = cost.epoch_ops(net, 1000, 0);
+    const double frozen3 = cost.epoch_ops(net, 1000, 3);
+    const double frozen5 = cost.epoch_ops(net, 1000, 5);
+    EXPECT_LT(frozen3, full);
+    EXPECT_LT(frozen5, frozen3);
+    // Forward still runs everywhere, so even full freezing costs
+    // at least the forward pass.
+    EXPECT_GT(frozen5, net.total_ops() * 1000 * 0.99);
+}
+
+TEST(CostModel, TrainCostConsistent)
+{
+    TrainingCostModel cost(titan_x_spec());
+    const TrainingCost c = cost.train_cost(tinynet_desc(), 1000, 2, 0);
+    EXPECT_GT(c.seconds, 0.0);
+    EXPECT_DOUBLE_EQ(c.energy_j,
+                     c.seconds * titan_x_spec().power_watts);
+    EXPECT_DOUBLE_EQ(
+        c.ops, cost.epoch_ops(tinynet_desc(), 1000, 0) * 2.0);
+}
+
+TEST(CostModel, DiagnosisCostIsForwardOnly)
+{
+    TrainingCostModel cost(titan_x_spec());
+    const NetworkDesc diag = diagnosis_desc(tinynet_desc());
+    const TrainingCost d = cost.diagnosis_cost(diag, 1000);
+    const TrainingCost t = cost.train_cost(diag, 1000, 1, 0);
+    EXPECT_LT(d.ops, t.ops); // training adds backward work
+}
+
+TEST(UpdateService, PretrainImprovesPretextAccuracy)
+{
+    TinyConfig config;
+    config.num_permutations = 8;
+    ModelUpdateService service(config, titan_x_spec(), 11);
+    Rng rng(12);
+    SynthConfig synth;
+    const Dataset raw =
+        make_dataset(synth, 96, Condition::ideal(), rng);
+    const double before = service.evaluate_pretext(raw.images);
+    const double after = service.pretrain(raw.images, 4);
+    EXPECT_GT(after, before + 0.1);
+    EXPECT_GT(after, 1.5 / 8.0); // clearly better than chance
+}
+
+TEST(UpdateService, TransferCopiesTrunkConvs)
+{
+    TinyConfig config;
+    ModelUpdateService service(config, titan_x_spec(), 13);
+    service.transfer_from_pretext(3);
+    const auto ti = service.jigsaw().trunk().conv_layer_indices();
+    const auto ii = service.inference().conv_layer_indices();
+    const auto tp = service.jigsaw().trunk().layer(ti[0]).params();
+    const auto ip = service.inference().layer(ii[0]).params();
+    for (int64_t i = 0; i < tp[0]->numel(); ++i)
+        EXPECT_EQ(tp[0]->value().at(i), ip[0]->value().at(i));
+    // Copied, not shared.
+    EXPECT_NE(tp[0].get(), ip[0].get());
+}
+
+TEST(UpdateService, UpdateLearnsAndAccounts)
+{
+    TinyConfig config;
+    ModelUpdateService service(config, titan_x_spec(), 17);
+    Rng rng(18);
+    SynthConfig synth;
+    const Dataset data =
+        make_dataset(synth, 300, Condition::ideal(), rng);
+    UpdatePolicy policy;
+    policy.epochs = 4;
+    policy.lr = 0.02;
+    const UpdateReport report = service.update(data, policy);
+    EXPECT_EQ(report.images, 300);
+    EXPECT_EQ(service.images_received(), 300);
+    EXPECT_GT(report.modeled.energy_j, 0.0);
+    EXPECT_GT(service.evaluate(data), 0.5);
+}
+
+TEST(UpdateService, FrozenUpdateKeepsPrefixIntact)
+{
+    TinyConfig config;
+    ModelUpdateService service(config, titan_x_spec(), 19);
+    Rng rng(20);
+    SynthConfig synth;
+    const Dataset data =
+        make_dataset(synth, 64, Condition::ideal(), rng);
+
+    const auto ii = service.inference().conv_layer_indices();
+    const Tensor conv1_before =
+        service.inference().layer(ii[0]).params()[0]->value();
+    const Tensor conv5_before =
+        service.inference().layer(ii[4]).params()[0]->value();
+
+    UpdatePolicy policy;
+    policy.frozen_convs = 3;
+    policy.epochs = 1;
+    service.update(data, policy);
+
+    const Tensor conv1_after =
+        service.inference().layer(ii[0]).params()[0]->value();
+    const Tensor conv5_after =
+        service.inference().layer(ii[4]).params()[0]->value();
+    const Tensor d1 = conv1_after - conv1_before;
+    const Tensor d5 = conv5_after - conv5_before;
+    EXPECT_DOUBLE_EQ(d1.squared_norm(), 0.0);
+    EXPECT_GT(d5.squared_norm(), 0.0);
+    // The freeze is transient: params are unfrozen after the job.
+    EXPECT_EQ(service.inference().trainable_param_count(),
+              service.inference().param_count());
+}
+
+TEST(UpdateService, FrozenUpdateModeledCheaper)
+{
+    TinyConfig config;
+    ModelUpdateService a(config, titan_x_spec(), 21);
+    ModelUpdateService b(config, titan_x_spec(), 21);
+    Rng rng(22);
+    SynthConfig synth;
+    const Dataset data =
+        make_dataset(synth, 64, Condition::ideal(), rng);
+    UpdatePolicy full;
+    full.epochs = 1;
+    UpdatePolicy frozen = full;
+    frozen.frozen_convs = 3;
+    const auto ra = a.update(data, full);
+    const auto rb = b.update(data, frozen);
+    EXPECT_LT(rb.modeled.energy_j, ra.modeled.energy_j);
+    EXPECT_LT(rb.modeled.seconds, ra.modeled.seconds);
+}
+
+} // namespace
+} // namespace insitu

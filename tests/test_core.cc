@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Integration tests of the Framework facade: bootstrap, autonomous
+ * incremental steps, and planning.
+ */
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+
+namespace insitu {
+namespace {
+
+FrameworkConfig
+small_config()
+{
+    FrameworkConfig c;
+    c.tiny.num_permutations = 8;
+    c.update.epochs = 4;
+    c.update.lr = 0.02;
+    c.pretrain_epochs = 2;
+    c.seed = 5;
+    return c;
+}
+
+TEST(Framework, BootstrapTrainsAndDeploys)
+{
+    Framework fw(small_config());
+    Rng rng(6);
+    SynthConfig synth;
+    const Dataset initial =
+        make_dataset(synth, 200, Condition::in_situ(0.2), rng);
+    const double acc = fw.bootstrap(initial);
+    EXPECT_GT(acc, 0.25); // far above 10% chance
+    // Cloud inference and jigsaw trunk share the conv prefix.
+    EXPECT_GE(fw.cloud().inference().shared_conv_prefix(
+                  fw.cloud().jigsaw().trunk()),
+              3u);
+}
+
+TEST(Framework, StepBeforeBootstrapDies)
+{
+    Framework fw(small_config());
+    Rng rng(7);
+    SynthConfig synth;
+    const Dataset d = make_dataset(synth, 5, Condition::ideal(), rng);
+    EXPECT_DEATH(fw.autonomous_step(d), "bootstrap");
+}
+
+TEST(Framework, AutonomousStepUploadsSubsetAndUpdates)
+{
+    Framework fw(small_config());
+    Rng rng(8);
+    SynthConfig synth;
+    const Dataset initial =
+        make_dataset(synth, 150, Condition::in_situ(0.2), rng);
+    fw.bootstrap(initial);
+    const Dataset stage =
+        make_dataset(synth, 60, Condition::in_situ(0.35), rng);
+    const LoopReport report = fw.autonomous_step(stage);
+    EXPECT_EQ(report.node.acquired, 60);
+    EXPECT_LE(report.uploaded, 60);
+    EXPECT_EQ(report.uploaded, report.node.flagged);
+    EXPECT_GE(report.accuracy_after, 0.0);
+}
+
+TEST(Framework, ModeFollowsAvailability)
+{
+    FrameworkConfig config = small_config();
+    config.inference_always_on = false;
+    EXPECT_EQ(Framework(config).working_mode(),
+              WorkingMode::kSingleRunning);
+    config.inference_always_on = true;
+    EXPECT_EQ(Framework(config).working_mode(),
+              WorkingMode::kCoRunning);
+}
+
+TEST(Framework, PlannersProduceValidConfigs)
+{
+    Framework fw(small_config());
+    const SingleRunningPlan sp = fw.plan_single_running();
+    EXPECT_GE(sp.inference_batch, 1);
+    EXPECT_GE(sp.diagnosis_batch, 1);
+    const CoRunningPlan cp = fw.plan_co_running();
+    EXPECT_TRUE(cp.feasible);
+    EXPECT_LE(cp.latency, fw.config().latency_requirement_s);
+}
+
+} // namespace
+} // namespace insitu

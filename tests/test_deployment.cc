@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the deployment-side extensions: int8 weight quantization,
+ * the battery/harvest model, and the versioned model registry with
+ * regression rollback.
+ */
+#include <gtest/gtest.h>
+
+#include "cloud/registry.h"
+#include "data/synth.h"
+#include "hw/battery.h"
+#include "models/tiny.h"
+#include "nn/linear.h"
+#include "nn/quantize.h"
+#include "nn/trainer.h"
+#include "util/rng.h"
+
+namespace insitu {
+namespace {
+
+Network
+small_net(uint64_t seed)
+{
+    Rng rng(seed);
+    TinyConfig config;
+    config.num_permutations = 8;
+    return make_tiny_inference(config, rng);
+}
+
+TEST(Quantize, RoundTripBoundedError)
+{
+    Network net = small_net(1);
+    const QuantizedModel q = quantize_weights(net);
+    // Symmetric int8: error bounded by scale/2 per parameter.
+    double worst_scale = 0.0;
+    for (const auto& p : q.params)
+        worst_scale = std::max(worst_scale,
+                               static_cast<double>(p.scale));
+    EXPECT_LE(quantization_error(net, q), worst_scale * 0.5 + 1e-6);
+}
+
+TEST(Quantize, PayloadRoughlyQuarterOfFloat)
+{
+    Network net = small_net(2);
+    const QuantizedModel q = quantize_weights(net);
+    const double ratio =
+        q.payload_bytes() / float_payload_bytes(net);
+    EXPECT_GT(ratio, 0.24);
+    EXPECT_LT(ratio, 0.30); // codes + per-param metadata
+}
+
+TEST(Quantize, DequantizeRestoresApproximateWeights)
+{
+    Network src = small_net(3);
+    const QuantizedModel q = quantize_weights(src);
+    Network dst = small_net(4);
+    ASSERT_TRUE(dequantize_into(dst, q));
+    auto ps = src.params();
+    auto pd = dst.params();
+    for (size_t i = 0; i < ps.size(); ++i) {
+        const float scale = q.params[i].scale;
+        for (int64_t j = 0; j < ps[i]->numel(); ++j)
+            EXPECT_NEAR(pd[i]->value().at(j), ps[i]->value().at(j),
+                        scale * 0.51f);
+    }
+}
+
+TEST(Quantize, RejectsMismatchedNetwork)
+{
+    Network src = small_net(5);
+    const QuantizedModel q = quantize_weights(src);
+    Rng rng(6);
+    Network other("other");
+    other.emplace<Linear>("fc", 4, 2, rng);
+    EXPECT_FALSE(dequantize_into(other, q));
+}
+
+TEST(Quantize, AccuracyLossIsSmall)
+{
+    // A trained model must survive int8 deployment.
+    Rng rng(7);
+    TinyConfig config;
+    config.num_permutations = 8;
+    SynthConfig synth;
+    const Dataset train =
+        make_dataset(synth, 300, Condition::ideal(), rng);
+    Network net = make_tiny_inference(config, rng);
+    Sgd opt({.lr = 0.01, .momentum = 0.9});
+    train_epochs(net, opt, train.images, train.labels, 32, 3, rng);
+    const double acc_before =
+        evaluate_accuracy(net, train.images, train.labels);
+    const QuantizedModel q = quantize_weights(net);
+    ASSERT_TRUE(dequantize_into(net, q));
+    const double acc_after =
+        evaluate_accuracy(net, train.images, train.labels);
+    EXPECT_GT(acc_after, acc_before - 0.05);
+}
+
+TEST(Battery, SustainableLoadNeverDepletes)
+{
+    BatterySpec spec;
+    spec.capacity_wh = 100;
+    spec.harvest_wh_per_day = 30;
+    Battery battery(spec);
+    for (int d = 0; d < 60; ++d)
+        EXPECT_TRUE(battery.step_day(20.0));
+    EXPECT_GT(battery.min_state_of_charge(), 0.5);
+    EXPECT_EQ(battery.days_until_depletion(20.0), -1);
+}
+
+TEST(Battery, OverloadDepletes)
+{
+    BatterySpec spec;
+    spec.capacity_wh = 100;
+    spec.harvest_wh_per_day = 10;
+    Battery battery(spec);
+    const int predicted = battery.days_until_depletion(30.0);
+    EXPECT_GT(predicted, 0);
+    int survived = 0;
+    while (battery.step_day(30.0)) ++survived;
+    EXPECT_NEAR(survived, predicted, 1);
+}
+
+TEST(Battery, CloudyDaysReduceMargin)
+{
+    BatterySpec spec;
+    spec.capacity_wh = 100;
+    spec.harvest_wh_per_day = 25;
+    Battery sunny(spec), cloudy(spec);
+    for (int d = 0; d < 10; ++d) {
+        sunny.step_day(20.0, 1.0);
+        cloudy.step_day(20.0, 0.3);
+    }
+    EXPECT_GT(sunny.charge_wh(), cloudy.charge_wh());
+}
+
+TEST(Battery, ChargeClampedToCapacity)
+{
+    BatterySpec spec;
+    spec.capacity_wh = 50;
+    spec.harvest_wh_per_day = 100;
+    Battery battery(spec);
+    battery.step_day(0.0);
+    EXPECT_LE(battery.charge_wh(), 50.0);
+}
+
+TEST(Registry, CommitRestoreRoundTrip)
+{
+    Network a = small_net(8);
+    ModelRegistry registry;
+    const int64_t id = registry.commit(a, "v1", 0.8, 1000);
+    EXPECT_EQ(id, 1);
+    // Clobber the weights, then restore.
+    for (auto& p : a.params()) p->value().fill(0.0f);
+    ASSERT_TRUE(registry.restore(id, a));
+    double norm = 0.0;
+    for (auto& p : a.params()) norm += p->value().squared_norm();
+    EXPECT_GT(norm, 0.0);
+}
+
+TEST(Registry, UnknownVersionFails)
+{
+    Network a = small_net(9);
+    ModelRegistry registry;
+    EXPECT_FALSE(registry.restore(1, a));
+    registry.commit(a, "v1", 0.5, 10);
+    EXPECT_FALSE(registry.restore(2, a));
+    EXPECT_FALSE(registry.restore(0, a));
+}
+
+TEST(Registry, BestAndLatestTracking)
+{
+    Network a = small_net(10);
+    ModelRegistry registry;
+    registry.commit(a, "v1", 0.6, 100);
+    registry.commit(a, "v2", 0.8, 200);
+    registry.commit(a, "v3", 0.7, 300);
+    ASSERT_TRUE(registry.best().has_value());
+    EXPECT_EQ(registry.best()->id, 2);
+    EXPECT_EQ(registry.latest()->id, 3);
+    EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(Registry, RollbackOnRegression)
+{
+    Network a = small_net(11);
+    ModelRegistry registry;
+    registry.commit(a, "good", 0.85, 100);
+    // Simulate a bad update: weights change, accuracy tanks.
+    const float good_w0 = a.params()[0]->value().at(0);
+    a.params()[0]->value().at(0) = 999.0f;
+    registry.commit(a, "bad", 0.40, 200);
+    const auto rolled = registry.rollback_if_regressed(a, 0.05);
+    ASSERT_TRUE(rolled.has_value());
+    EXPECT_EQ(*rolled, 1);
+    EXPECT_FLOAT_EQ(a.params()[0]->value().at(0), good_w0);
+}
+
+TEST(Registry, NoRollbackWithinTolerance)
+{
+    Network a = small_net(12);
+    ModelRegistry registry;
+    registry.commit(a, "v1", 0.80, 100);
+    registry.commit(a, "v2", 0.78, 200);
+    EXPECT_FALSE(
+        registry.rollback_if_regressed(a, 0.05).has_value());
+}
+
+} // namespace
+} // namespace insitu

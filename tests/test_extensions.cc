@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the extension features: the direct conv backend vs the
+ * im2col lowering, sigmoid/tanh activations, the uplink queue, the
+ * periodic environment schedule, and labeling-cost accounting.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/schedule.h"
+#include "iot/system.h"
+#include "iot/uplink.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/grad_check.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace insitu {
+namespace {
+
+TEST(ConvBackend, DirectMatchesIm2colExactly)
+{
+    Rng rng(1);
+    for (int64_t stride : {1, 2}) {
+        for (int64_t pad : {0, 1, 2}) {
+            Conv2d conv("c", 3, 5, 3, stride, pad, rng);
+            Tensor x({2, 3, 9, 9});
+            x.fill_uniform(rng, -1.0f, 1.0f);
+            conv.set_backend(ConvBackend::kIm2col);
+            const Tensor a = conv.forward(x, false);
+            conv.set_backend(ConvBackend::kDirect);
+            const Tensor b = conv.forward(x, false);
+            ASSERT_EQ(a.shape(), b.shape());
+            for (int64_t i = 0; i < a.numel(); ++i)
+                EXPECT_NEAR(a.at(i), b.at(i), 1e-4f)
+                    << "stride " << stride << " pad " << pad;
+        }
+    }
+}
+
+TEST(ConvBackend, DirectForwardWithIm2colBackwardIsConsistent)
+{
+    // Training with the direct forward must produce the same
+    // gradients (backward path is im2col either way).
+    Rng rng(2);
+    Network net("direct");
+    auto conv = std::make_unique<Conv2d>("c", 2, 3, 3, 1, 1, rng);
+    conv->set_backend(ConvBackend::kDirect);
+    net.add(std::move(conv));
+    net.emplace<Flatten>();
+    net.emplace<Linear>("fc", 3 * 6 * 6, 2, rng);
+    Tensor x({1, 2, 6, 6});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    SoftmaxCrossEntropy loss;
+    const std::vector<int64_t> labels{1};
+    auto loss_fn = [&] {
+        return loss.forward(net.forward(x, false), labels);
+    };
+    auto backward_fn = [&] {
+        loss.forward(net.forward(x, false), labels);
+        net.backward(loss.backward());
+    };
+    EXPECT_TRUE(check_gradients(net, loss_fn, backward_fn).ok());
+}
+
+TEST(Activations, SigmoidForwardValues)
+{
+    Sigmoid s;
+    Tensor x({3}, {0.0f, 100.0f, -100.0f});
+    const Tensor y = s.forward(x, false);
+    EXPECT_NEAR(y.at(0), 0.5f, 1e-6f);
+    EXPECT_NEAR(y.at(1), 1.0f, 1e-6f);
+    EXPECT_NEAR(y.at(2), 0.0f, 1e-6f);
+}
+
+TEST(Activations, TanhForwardValues)
+{
+    Tanh t;
+    Tensor x({2}, {0.0f, 100.0f});
+    const Tensor y = t.forward(x, false);
+    EXPECT_NEAR(y.at(0), 0.0f, 1e-6f);
+    EXPECT_NEAR(y.at(1), 1.0f, 1e-6f);
+}
+
+TEST(Activations, SigmoidGradient)
+{
+    Rng rng(3);
+    Network net("sig");
+    net.emplace<Linear>("fc1", 4, 6, rng);
+    net.emplace<Sigmoid>();
+    net.emplace<Linear>("fc2", 6, 2, rng);
+    Tensor x({3, 4});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    SoftmaxCrossEntropy loss;
+    const std::vector<int64_t> labels{0, 1, 0};
+    auto loss_fn = [&] {
+        return loss.forward(net.forward(x, false), labels);
+    };
+    auto backward_fn = [&] {
+        loss.forward(net.forward(x, false), labels);
+        net.backward(loss.backward());
+    };
+    EXPECT_TRUE(check_gradients(net, loss_fn, backward_fn).ok());
+}
+
+TEST(Activations, TanhGradient)
+{
+    Rng rng(4);
+    Network net("tanh");
+    net.emplace<Linear>("fc1", 4, 6, rng);
+    net.emplace<Tanh>();
+    net.emplace<Linear>("fc2", 6, 2, rng);
+    Tensor x({3, 4});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    SoftmaxCrossEntropy loss;
+    const std::vector<int64_t> labels{1, 0, 1};
+    auto loss_fn = [&] {
+        return loss.forward(net.forward(x, false), labels);
+    };
+    auto backward_fn = [&] {
+        loss.forward(net.forward(x, false), labels);
+        net.backward(loss.backward());
+    };
+    EXPECT_TRUE(check_gradients(net, loss_fn, backward_fn).ok());
+}
+
+TEST(UplinkQueue, DrainsFifoWithBandwidthLimit)
+{
+    LinkSpec link = lan_uplink_spec();
+    link.bandwidth_bps = 8000.0; // 1000 bytes/s
+    UplinkQueue queue(link, 500.0); // 0.5 s per payload
+    queue.enqueue(5, 0.0);
+    EXPECT_EQ(queue.backlog(), 5);
+    // A 1.2 s window fits two payloads.
+    EXPECT_EQ(queue.drain_window(0.0, 1.2), 2);
+    EXPECT_EQ(queue.backlog(), 3);
+    // A long window clears the rest.
+    EXPECT_EQ(queue.drain_window(1.2, 10.0), 3);
+    EXPECT_EQ(queue.backlog(), 0);
+    EXPECT_EQ(queue.stats().delivered, 5);
+    EXPECT_DOUBLE_EQ(queue.stats().bytes_sent, 2500.0);
+}
+
+TEST(UplinkQueue, DelayAccountsQueueingTime)
+{
+    LinkSpec link = lan_uplink_spec();
+    link.bandwidth_bps = 8000.0;
+    UplinkQueue queue(link, 1000.0); // 1 s per payload
+    queue.enqueue(2, 0.0);
+    queue.drain_window(10.0, 12.0); // transmitted at t=11 and t=12
+    EXPECT_EQ(queue.stats().delivered, 2);
+    EXPECT_DOUBLE_EQ(queue.stats().mean_delay_s(), 11.5);
+}
+
+TEST(UplinkQueue, EnergyMatchesLinkModel)
+{
+    const LinkSpec link = iot_uplink_spec();
+    UplinkQueue queue(link, 1e6);
+    queue.enqueue(3, 0.0);
+    queue.drain_window(0.0, 1e9);
+    EXPECT_DOUBLE_EQ(queue.stats().energy_j,
+                     3.0 * link.transfer_energy(1e6));
+}
+
+TEST(UplinkQueue, BacklogPeakTracked)
+{
+    UplinkQueue queue(iot_uplink_spec(), 100.0);
+    queue.enqueue(10, 0.0);
+    queue.drain_window(0.0, 1e9);
+    queue.enqueue(4, 1.0);
+    EXPECT_DOUBLE_EQ(queue.stats().max_backlog, 1000.0);
+}
+
+TEST(EnvironmentSchedule, NightIsHarsherThanNoon)
+{
+    EnvironmentSchedule schedule;
+    const double night = schedule.severity_at_hours(2.0);
+    const double noon = schedule.severity_at_hours(14.0);
+    EXPECT_GT(night, noon + 0.2);
+    const Condition at_night = schedule.at_hours(2.0);
+    const Condition at_noon = schedule.at_hours(14.0);
+    EXPECT_LT(at_night.brightness, at_noon.brightness);
+}
+
+TEST(EnvironmentSchedule, PeriodicOverDays)
+{
+    EnvironmentSchedule schedule;
+    schedule.drift_per_day = 0.0;
+    EXPECT_NEAR(schedule.severity_at_hours(5.0),
+                schedule.severity_at_hours(5.0 + 24.0), 1e-9);
+}
+
+TEST(EnvironmentSchedule, SeasonalDriftAccumulates)
+{
+    EnvironmentSchedule schedule;
+    schedule.drift_per_day = 0.01;
+    EXPECT_NEAR(schedule.severity_at_hours(14.0 + 30 * 24.0) -
+                    schedule.severity_at_hours(14.0),
+                0.3, 1e-6);
+}
+
+TEST(EnvironmentSchedule, SeverityClamped)
+{
+    EnvironmentSchedule schedule;
+    schedule.base_severity = 0.9;
+    schedule.night_amplitude = 0.9;
+    EXPECT_LE(schedule.severity_at_hours(2.0), 1.0);
+}
+
+TEST(LabelingCost, DiagnosisCutsLabeledImages)
+{
+    IotSystemConfig config;
+    config.tiny.num_permutations = 8;
+    config.link = iot_uplink_spec();
+    config.cloud_gpu = titan_x_spec();
+    config.update.epochs = 1;
+    config.pretrain_epochs = 2;
+    config.incremental_pretrain_epochs = 2;
+    config.seed = 77;
+    const std::vector<StreamStage> schedule = {
+        {120, Condition::in_situ(0.2)},
+        {80, Condition::in_situ(0.25)},
+        {80, Condition::in_situ(0.3)},
+    };
+
+    IotSystemSim all(IotSystemKind::kCloudAll, config);
+    IotStream sa(config.synth, schedule, 5);
+    const auto ra = all.run(sa);
+
+    IotSystemSim insitu_sys(IotSystemKind::kInsituAi, config);
+    IotStream sd(config.synth, schedule, 5);
+    const auto rd = insitu_sys.run(sd);
+
+    int64_t labeled_a = 0, labeled_d = 0;
+    for (const auto& s : ra) labeled_a += s.labeled_images;
+    for (const auto& s : rd) labeled_d += s.labeled_images;
+    EXPECT_LT(labeled_d, labeled_a);
+    // Stage 0 labels everything in both systems.
+    EXPECT_EQ(ra[0].labeled_images, rd[0].labeled_images);
+}
+
+} // namespace
+} // namespace insitu

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the multi-node fleet simulator and the quantized-model
+ * file artifact.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "iot/fleet.h"
+#include "models/tiny.h"
+#include "nn/quantize.h"
+
+namespace insitu {
+namespace {
+
+FleetConfig
+small_fleet()
+{
+    FleetConfig c;
+    c.tiny.num_permutations = 8;
+    c.update.epochs = 2;
+    c.pretrain_epochs = 2;
+    c.node_severity_offset = {0.0, 0.15};
+    c.seed = 3;
+    return c;
+}
+
+TEST(Fleet, BootstrapDeploysToAllNodes)
+{
+    FleetSim fleet(small_fleet());
+    EXPECT_EQ(fleet.size(), 2u);
+    const double acc = fleet.bootstrap(80, 0.2);
+    EXPECT_GT(acc, 0.2);
+    // Every node carries the cloud's weights after deployment.
+    const auto cloud_p = fleet.cloud().inference().params();
+    for (size_t n = 0; n < fleet.size(); ++n) {
+        const auto node_p =
+            fleet.node(n).inference().network().params();
+        for (int64_t i = 0; i < cloud_p[0]->numel(); ++i)
+            ASSERT_EQ(node_p[0]->value().at(i),
+                      cloud_p[0]->value().at(i));
+    }
+}
+
+TEST(Fleet, StagePoolsUploadsAcrossNodes)
+{
+    FleetSim fleet(small_fleet());
+    fleet.bootstrap(80, 0.2);
+    const FleetStageReport report = fleet.run_stage(40, 0.25);
+    ASSERT_EQ(report.nodes.size(), 2u);
+    int64_t sum = 0;
+    for (const auto& nr : report.nodes) {
+        EXPECT_EQ(nr.acquired, 40);
+        EXPECT_LE(nr.uploaded, nr.acquired);
+        sum += nr.uploaded;
+    }
+    EXPECT_EQ(report.pooled_uploads, sum);
+    EXPECT_GE(report.mean_accuracy_after, 0.0);
+}
+
+TEST(Fleet, HarsherNodeFlagsMore)
+{
+    // The node with the bigger severity offset should, on average,
+    // find more of its data unrecognized.
+    FleetConfig config = small_fleet();
+    config.node_severity_offset = {0.0, 0.35};
+    FleetSim fleet(config);
+    fleet.bootstrap(100, 0.15);
+    double mild = 0, harsh = 0;
+    for (int s = 0; s < 2; ++s) {
+        const auto report = fleet.run_stage(60, 0.15);
+        mild += report.nodes[0].flag_rate;
+        harsh += report.nodes[1].flag_rate;
+    }
+    EXPECT_GT(harsh, mild);
+}
+
+TEST(Fleet, SingleNodeFleetDegeneratesGracefully)
+{
+    FleetConfig config = small_fleet();
+    config.node_severity_offset = {0.1};
+    FleetSim fleet(config);
+    EXPECT_EQ(fleet.size(), 1u);
+    fleet.bootstrap(60, 0.2);
+    const auto report = fleet.run_stage(30, 0.25);
+    EXPECT_EQ(report.nodes.size(), 1u);
+}
+
+TEST(QuantizedFile, RoundTripThroughDisk)
+{
+    Rng rng(5);
+    TinyConfig config;
+    config.num_permutations = 8;
+    Network net = make_tiny_inference(config, rng);
+    const QuantizedModel model = quantize_weights(net);
+    const std::string path = "/tmp/insitu_quant_test.bin";
+    ASSERT_TRUE(save_quantized_file(model, path));
+    const auto loaded = load_quantized_file(path);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->params.size(), model.params.size());
+    for (size_t i = 0; i < model.params.size(); ++i) {
+        EXPECT_EQ(loaded->params[i].name, model.params[i].name);
+        EXPECT_EQ(loaded->params[i].shape, model.params[i].shape);
+        EXPECT_EQ(loaded->params[i].scale, model.params[i].scale);
+        EXPECT_EQ(loaded->params[i].codes, model.params[i].codes);
+    }
+    // The loaded artifact deploys into a fresh network.
+    Network fresh = make_tiny_inference(config, rng);
+    EXPECT_TRUE(dequantize_into(fresh, *loaded));
+    std::remove(path.c_str());
+}
+
+TEST(QuantizedFile, RejectsGarbage)
+{
+    const std::string path = "/tmp/insitu_quant_garbage.bin";
+    {
+        std::FILE* f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("not a quantized model", f);
+        std::fclose(f);
+    }
+    EXPECT_FALSE(load_quantized_file(path).has_value());
+    std::remove(path.c_str());
+    EXPECT_FALSE(load_quantized_file("/nonexistent/q.bin").has_value());
+}
+
+} // namespace
+} // namespace insitu

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the Co-running FPGA architecture simulator:
+ * NWS / WS / WSS orderings of Fig. 22 and the pipeline variants of
+ * Fig. 23.
+ */
+#include <gtest/gtest.h>
+
+#include "fpga/arch.h"
+#include "fpga/pipeline.h"
+
+namespace insitu {
+namespace {
+
+constexpr int64_t kPaperPes = 2628;
+
+TEST(EngineUnroll, PickIsNearSquareAndWithinBudget)
+{
+    const EngineUnroll e = pick_engine_unroll(262);
+    EXPECT_LE(e.tn * e.tm, 262);
+    EXPECT_GE(e.tn * e.tm, 200);
+    EXPECT_LE(std::abs(e.tn - e.tm), e.tn);
+}
+
+TEST(ArchSim, WssGeometryMatchesPaper)
+{
+    FpgaArchSim sim(vx690t_spec(), kPaperPes);
+    const WssConfig wss = sim.wss_config();
+    EXPECT_EQ(wss.tr, 14);
+    EXPECT_EQ(wss.tc, 14);
+    // 2628 / 637 = 4 WSS units, the paper's group.
+    EXPECT_EQ(wss.group_size, 4);
+}
+
+TEST(ArchSim, ComputeOrderingWssBestWsWorst)
+{
+    // Fig 22: "WSS outperforms the other two architectures in terms
+    // of compute time, while WS has the worst compute performance".
+    FpgaArchSim sim(vx690t_spec(), kPaperPes);
+    const NetworkDesc net = alexnet_desc();
+    const auto nws = sim.run_conv_layers(net, ArchKind::kNws, 3);
+    const auto ws = sim.run_conv_layers(net, ArchKind::kWs, 3);
+    const auto wss = sim.run_conv_layers(net, ArchKind::kWss, 3);
+    EXPECT_LT(wss.compute_seconds, nws.compute_seconds);
+    EXPECT_LT(nws.compute_seconds, ws.compute_seconds);
+}
+
+TEST(ArchSim, TotalRuntimeOrderingMatchesFig22)
+{
+    FpgaArchSim sim(vx690t_spec(), kPaperPes);
+    const NetworkDesc net = alexnet_desc();
+    for (size_t shared : {0u, 3u, 5u}) {
+        const auto nws =
+            sim.run_conv_layers(net, ArchKind::kNws, shared);
+        const auto ws = sim.run_conv_layers(net, ArchKind::kWs, shared);
+        const auto wss =
+            sim.run_conv_layers(net, ArchKind::kWss, shared);
+        EXPECT_LT(wss.total_seconds(), nws.total_seconds())
+            << "shared=" << shared;
+        EXPECT_LT(wss.total_seconds(), ws.total_seconds())
+            << "shared=" << shared;
+    }
+}
+
+TEST(ArchSim, WsTileEnginesIdleRoughly75Percent)
+{
+    // §IV-B2: "the convolution engines in diagnosis task will be idle
+    // during 75% of cycles" under uniform unrolling.
+    FpgaArchSim sim(vx690t_spec(), kPaperPes);
+    const auto ws =
+        sim.run_conv_layers(alexnet_desc(), ArchKind::kWs, 3);
+    EXPECT_NEAR(ws.idle_fraction, 0.75, 0.1);
+}
+
+TEST(ArchSim, WssBalancedEnginesBarelyIdle)
+{
+    FpgaArchSim sim(vx690t_spec(), kPaperPes);
+    const auto wss =
+        sim.run_conv_layers(alexnet_desc(), ArchKind::kWss, 3);
+    EXPECT_LT(wss.idle_fraction, 0.35);
+}
+
+TEST(ArchSim, WeightTrafficDropsWithSharedLayers)
+{
+    // Fig 22: data-access time decreases as shared layers increase
+    // for the weight-shared architectures; NWS stays flat.
+    FpgaArchSim sim(vx690t_spec(), kPaperPes);
+    const NetworkDesc net = alexnet_desc();
+    auto access = [&](ArchKind kind, size_t shared) {
+        return sim.run_conv_layers(net, kind, shared).access_seconds;
+    };
+    EXPECT_DOUBLE_EQ(access(ArchKind::kNws, 0),
+                     access(ArchKind::kNws, 5));
+    EXPECT_GT(access(ArchKind::kWs, 0), access(ArchKind::kWs, 3));
+    EXPECT_GT(access(ArchKind::kWs, 3), access(ArchKind::kWs, 5));
+    EXPECT_GT(access(ArchKind::kWss, 0), access(ArchKind::kWss, 3));
+    // WSS always accesses less than NWS.
+    EXPECT_LT(access(ArchKind::kWss, 0), access(ArchKind::kNws, 0));
+}
+
+TEST(ArchSim, LayerStatsMarkSharedPrefix)
+{
+    FpgaArchSim sim(vx690t_spec(), kPaperPes);
+    const auto stats =
+        sim.layer_stats(alexnet_desc(), ArchKind::kWss, 3);
+    ASSERT_EQ(stats.size(), 5u);
+    EXPECT_TRUE(stats[0].weights_shared);
+    EXPECT_TRUE(stats[2].weights_shared);
+    EXPECT_FALSE(stats[3].weights_shared);
+}
+
+TEST(ArchSim, SharingMoreLayersThanConvsDies)
+{
+    FpgaArchSim sim(vx690t_spec(), kPaperPes);
+    EXPECT_DEATH(
+        sim.run_conv_layers(alexnet_desc(), ArchKind::kWss, 6),
+        "share");
+}
+
+TEST(Pipeline, VariantNames)
+{
+    EXPECT_STREQ(pipeline_variant_name(PipelineVariant::kWssNws),
+                 "WSS-NWS");
+    EXPECT_STREQ(arch_name(ArchKind::kWss), "WSS");
+}
+
+TEST(Pipeline, NwsThroughputFlatWithoutBatching)
+{
+    // Fig 23: NWS "could not increase its processing throughput even
+    // under a loose requirement of latency".
+    CorunPipeline pipe(vx690t_spec(), kPaperPes, {8, 10});
+    const NetworkDesc net = alexnet_desc();
+    const auto strict =
+        pipe.best_under_latency(net, PipelineVariant::kNws, 0.2);
+    const auto loose =
+        pipe.best_under_latency(net, PipelineVariant::kNws, 0.8);
+    ASSERT_TRUE(strict.feasible);
+    ASSERT_TRUE(loose.feasible);
+    EXPECT_NEAR(loose.throughput, strict.throughput,
+                0.15 * strict.throughput);
+}
+
+TEST(Pipeline, NwsBatchBeatsNws)
+{
+    CorunPipeline pipe(vx690t_spec(), kPaperPes, {8, 10});
+    const NetworkDesc net = alexnet_desc();
+    const auto nws =
+        pipe.best_under_latency(net, PipelineVariant::kNws, 0.8);
+    const auto nwsb =
+        pipe.best_under_latency(net, PipelineVariant::kNwsBatch, 0.8);
+    EXPECT_GT(nwsb.throughput, nws.throughput);
+}
+
+TEST(Pipeline, WssNwsBestEverywhere)
+{
+    // Fig 23: "Among all the requirements of latency, our WSS-NWS can
+    // achieve the best processing throughput."
+    CorunPipeline pipe(vx690t_spec(), kPaperPes, {8, 10});
+    const NetworkDesc net = alexnet_desc();
+    for (double req : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+        const auto best = pipe.best_under_latency(
+            net, PipelineVariant::kWssNws, req);
+        ASSERT_TRUE(best.feasible) << req;
+        for (auto v : {PipelineVariant::kNws,
+                       PipelineVariant::kNwsBatch,
+                       PipelineVariant::kWs}) {
+            const auto other = pipe.best_under_latency(net, v, req);
+            if (other.feasible) {
+                EXPECT_GT(best.throughput, other.throughput)
+                    << pipeline_variant_name(v) << " at " << req;
+            }
+        }
+    }
+}
+
+TEST(Pipeline, WsMissesStrictLatency)
+{
+    // Fig 23: WS cannot meet the 50 ms requirement (marked x).
+    CorunPipeline pipe(vx690t_spec(), kPaperPes, {8, 10});
+    const auto ws = pipe.best_under_latency(
+        alexnet_desc(), PipelineVariant::kWs, 0.05);
+    EXPECT_FALSE(ws.feasible);
+}
+
+TEST(Pipeline, PlansRespectLatencyRequirement)
+{
+    CorunPipeline pipe(vx690t_spec(), kPaperPes, {8, 10});
+    const NetworkDesc net = alexnet_desc();
+    for (auto v : {PipelineVariant::kNwsBatch,
+                   PipelineVariant::kWssNws}) {
+        const auto plan = pipe.best_under_latency(net, v, 0.2);
+        ASSERT_TRUE(plan.feasible);
+        EXPECT_LE(plan.latency, 0.2);
+        EXPECT_GE(plan.batch, 1);
+    }
+}
+
+} // namespace
+} // namespace insitu

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the model descriptors: Eq. (1) op counts, layer
+ * filters and the diagnosis companion geometry.
+ */
+#include <gtest/gtest.h>
+
+#include "models/descriptor.h"
+
+namespace insitu {
+namespace {
+
+TEST(LayerDesc, OpsMatchesEquationOne)
+{
+    LayerDesc l;
+    l.type = LayerType::kConv;
+    l.n = 3;
+    l.m = 96;
+    l.k = 11;
+    l.r = 55;
+    l.c = 55;
+    // 2 * 96 * 3 * 121 * 3025
+    EXPECT_DOUBLE_EQ(l.ops(), 2.0 * 96 * 3 * 121 * 3025);
+}
+
+TEST(LayerDesc, FcnCounts)
+{
+    LayerDesc l;
+    l.type = LayerType::kFcn;
+    l.n = 9216;
+    l.m = 4096;
+    EXPECT_DOUBLE_EQ(l.ops(), 2.0 * 9216 * 4096);
+    EXPECT_DOUBLE_EQ(l.weight_count(), 9216.0 * 4096);
+    EXPECT_DOUBLE_EQ(l.input_count(), 9216.0);
+    EXPECT_DOUBLE_EQ(l.output_count(), 4096.0);
+}
+
+TEST(AlexNet, LayerStructure)
+{
+    const NetworkDesc d = alexnet_desc();
+    EXPECT_EQ(d.conv_layers().size(), 5u);
+    EXPECT_EQ(d.fcn_layers().size(), 3u);
+    EXPECT_EQ(d.layers.front().m, 96);
+    EXPECT_EQ(d.layers.front().k, 11);
+}
+
+TEST(AlexNet, TotalOpsNearPublished)
+{
+    // AlexNet forward is ~1.4-1.5 GFLOPs (single column, no groups).
+    const double gflops = alexnet_desc().total_ops() / 1e9;
+    EXPECT_GT(gflops, 1.0);
+    EXPECT_LT(gflops, 3.5);
+}
+
+TEST(AlexNet, WeightsDominatedByFcn)
+{
+    // The famous AlexNet property the paper's FCN batching exploits:
+    // ~90% of weights live in the FC layers.
+    const NetworkDesc d = alexnet_desc();
+    double fcn_weights = 0.0;
+    for (const auto& l : d.fcn_layers()) fcn_weights += l.weight_count();
+    EXPECT_GT(fcn_weights / d.total_weights(), 0.85);
+}
+
+TEST(Vgg16, TotalOpsNearPublished)
+{
+    // VGG-16 forward is ~30.9 GFLOPs.
+    const double gflops = vgg16_desc().total_ops() / 1e9;
+    EXPECT_GT(gflops, 25.0);
+    EXPECT_LT(gflops, 40.0);
+}
+
+TEST(Vgg16, MuchHeavierThanAlexNet)
+{
+    // The paper's Fig. 21 observation (VGG keeps the GPU busy even at
+    // batch 1) rests on this op-count gap.
+    EXPECT_GT(vgg16_desc().total_ops(),
+              10.0 * alexnet_desc().total_ops());
+}
+
+TEST(GoogleNet, OpsBetweenAlexAndVgg)
+{
+    const double ops = googlenet_desc().total_ops();
+    EXPECT_GT(ops, alexnet_desc().total_ops());
+    EXPECT_LT(ops, vgg16_desc().total_ops());
+}
+
+TEST(TinyNet, MatchesTrainableArchitecture)
+{
+    const NetworkDesc d = tinynet_desc();
+    EXPECT_EQ(d.conv_layers().size(), 5u);
+    EXPECT_EQ(d.fcn_layers().size(), 2u);
+    EXPECT_EQ(d.layers.front().n, 3);
+    EXPECT_EQ(d.layers.front().m, 16);
+}
+
+TEST(Diagnosis, TileOutputsQuarterLoad)
+{
+    // The paper's WSS sizing rests on the 4:1 compute ratio between
+    // the full-image inference conv and the per-tile diagnosis conv.
+    const NetworkDesc inf = alexnet_desc();
+    const NetworkDesc diag = diagnosis_desc(inf);
+    ASSERT_EQ(diag.layers.size(), inf.conv_layers().size());
+    for (size_t i = 0; i < diag.layers.size(); ++i) {
+        const auto& full = inf.conv_layers()[i];
+        const auto& tile = diag.layers[i];
+        EXPECT_EQ(tile.r, std::max<int64_t>(1, full.r / 2));
+        EXPECT_NEAR(full.ops() / tile.ops(), 4.0, 0.35 * 4.0);
+    }
+}
+
+TEST(Diagnosis, DropsFcnLayers)
+{
+    const NetworkDesc diag = diagnosis_desc(alexnet_desc());
+    EXPECT_TRUE(diag.fcn_layers().empty());
+}
+
+} // namespace
+} // namespace insitu

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Unit tests for layers, the network container, weight
+ * sharing/freezing surgery, loss, optimizer, trainer and
+ * serialization.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+#include "nn/pooling.h"
+#include "nn/serialize.h"
+#include "nn/trainer.h"
+#include "util/rng.h"
+
+namespace insitu {
+namespace {
+
+TEST(Conv2d, KnownConvolution)
+{
+    Rng rng(1);
+    Conv2d conv("c", 1, 1, 2, 1, 0, rng);
+    conv.weight()->value() = Tensor({1, 1, 2, 2}, {1, 0, 0, 1});
+    conv.bias()->value() = Tensor({1}, {0.5f});
+    Tensor x({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+    const Tensor y = conv.forward(x, false);
+    EXPECT_EQ(y.dim(2), 2);
+    EXPECT_EQ(y.dim(3), 2);
+    // Window [[1,2],[4,5]] . [[1,0],[0,1]] = 6, + bias.
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 6.5f);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 14.5f);
+}
+
+TEST(Conv2d, StrideAndPaddingShapes)
+{
+    Rng rng(2);
+    Conv2d conv("c", 3, 8, 5, 2, 2, rng);
+    Tensor x({2, 3, 32, 32});
+    const Tensor y = conv.forward(x, false);
+    EXPECT_EQ(y.dim(0), 2);
+    EXPECT_EQ(y.dim(1), 8);
+    EXPECT_EQ(y.dim(2), 16);
+    EXPECT_EQ(y.dim(3), 16);
+}
+
+TEST(Conv2d, ChannelMismatchDies)
+{
+    Rng rng(3);
+    Conv2d conv("c", 3, 4, 3, 1, 1, rng);
+    Tensor x({1, 2, 8, 8});
+    EXPECT_DEATH(conv.forward(x, false), "channels");
+}
+
+TEST(Linear, KnownAffine)
+{
+    Rng rng(4);
+    Linear fc("fc", 2, 2, rng);
+    fc.weight()->value() = Tensor({2, 2}, {1, 2, 3, 4});
+    fc.bias()->value() = Tensor({2}, {10, 20});
+    Tensor x({1, 2}, {1, 1});
+    const Tensor y = fc.forward(x, false);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 13.0f); // 1*1+2*1+10
+    EXPECT_FLOAT_EQ(y.at(0, 1), 27.0f); // 3*1+4*1+20
+}
+
+TEST(ReLU, ForwardAndBackwardMask)
+{
+    ReLU relu;
+    Tensor x({4}, {-1, 0, 2, -3});
+    const Tensor y = relu.forward(x, false);
+    EXPECT_EQ(y.at(0), 0.0f);
+    EXPECT_EQ(y.at(2), 2.0f);
+    Tensor g({4}, {1, 1, 1, 1});
+    const Tensor gi = relu.backward(g);
+    EXPECT_EQ(gi.at(0), 0.0f);
+    EXPECT_EQ(gi.at(2), 1.0f);
+}
+
+TEST(Flatten, RoundTripShapes)
+{
+    Flatten f;
+    Tensor x({2, 3, 4, 5});
+    const Tensor y = f.forward(x, false);
+    EXPECT_EQ(y.dim(0), 2);
+    EXPECT_EQ(y.dim(1), 60);
+    const Tensor back = f.backward(y);
+    EXPECT_EQ(back.shape(), x.shape());
+}
+
+TEST(Dropout, EvalModeIsIdentity)
+{
+    Rng rng(5);
+    Dropout d("d", 0.5, rng);
+    Tensor x({100}, 1.0f);
+    const Tensor y = d.forward(x, /*training=*/false);
+    EXPECT_EQ(y.sum(), 100.0);
+}
+
+TEST(Dropout, TrainingPreservesExpectation)
+{
+    Rng rng(6);
+    Dropout d("d", 0.5, rng);
+    Tensor x({20000}, 1.0f);
+    const Tensor y = d.forward(x, /*training=*/true);
+    EXPECT_NEAR(y.mean(), 1.0, 0.05);
+}
+
+TEST(MaxPool, SelectsWindowMaxima)
+{
+    MaxPool2d pool("p", 2, 2);
+    Tensor x({1, 1, 4, 4},
+             {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+    const Tensor y = pool.forward(x, false);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 6.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 16.0f);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax)
+{
+    MaxPool2d pool("p", 2, 2);
+    Tensor x({1, 1, 2, 2}, {1, 9, 3, 4});
+    pool.forward(x, false);
+    Tensor g({1, 1, 1, 1}, {5.0f});
+    const Tensor gi = pool.backward(g);
+    EXPECT_EQ(gi.at(0, 0, 0, 1), 5.0f);
+    EXPECT_EQ(gi.at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(AvgPool, AveragesWindows)
+{
+    AvgPool2d pool("p", 2, 2);
+    Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+    const Tensor y = pool.forward(x, false);
+    EXPECT_FLOAT_EQ(y.at(0), 2.5f);
+    Tensor g({1, 1, 1, 1}, {4.0f});
+    const Tensor gi = pool.backward(g);
+    for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gi.at(i), 1.0f);
+}
+
+TEST(Softmax, RowsSumToOne)
+{
+    Tensor logits({2, 3}, {1, 2, 3, -1, 0, 1});
+    const Tensor p = softmax_rows(logits);
+    for (int64_t r = 0; r < 2; ++r) {
+        double s = 0.0;
+        for (int64_t c = 0; c < 3; ++c) s += p.at(r, c);
+        EXPECT_NEAR(s, 1.0, 1e-6);
+    }
+}
+
+TEST(Softmax, StableUnderLargeLogits)
+{
+    Tensor logits({1, 2}, {1000.0f, 999.0f});
+    const Tensor p = softmax_rows(logits);
+    EXPECT_NEAR(p.at(0, 0), 0.731, 1e-3);
+}
+
+TEST(CrossEntropy, PerfectPredictionLowLoss)
+{
+    Tensor logits({1, 3}, {20.0f, 0.0f, 0.0f});
+    SoftmaxCrossEntropy loss;
+    EXPECT_LT(loss.forward(logits, {0}), 1e-6);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC)
+{
+    Tensor logits({1, 4});
+    SoftmaxCrossEntropy loss;
+    EXPECT_NEAR(loss.forward(logits, {2}), std::log(4.0), 1e-6);
+}
+
+TEST(CrossEntropy, GradientSignsAndSum)
+{
+    Tensor logits({1, 3}, {1.0f, 2.0f, 0.5f});
+    SoftmaxCrossEntropy loss;
+    loss.forward(logits, {1});
+    const Tensor g = loss.backward();
+    EXPECT_LT(g.at(0, 1), 0.0f); // true class pushed up
+    EXPECT_GT(g.at(0, 0), 0.0f);
+    EXPECT_NEAR(g.sum(), 0.0, 1e-6); // softmax grad sums to zero
+}
+
+Network
+make_mlp(Rng& rng)
+{
+    Network net("mlp");
+    net.emplace<Linear>("fc1", 4, 8, rng)
+        .emplace<ReLU>()
+        .emplace<Linear>("fc2", 8, 3, rng);
+    return net;
+}
+
+TEST(Network, ForwardShapes)
+{
+    Rng rng(7);
+    Network net = make_mlp(rng);
+    Tensor x({5, 4});
+    const Tensor y = net.forward(x);
+    EXPECT_EQ(y.dim(0), 5);
+    EXPECT_EQ(y.dim(1), 3);
+}
+
+TEST(Network, ParamCountAndZeroGrad)
+{
+    Rng rng(8);
+    Network net = make_mlp(rng);
+    EXPECT_EQ(net.param_count(), 4 * 8 + 8 + 8 * 3 + 3);
+    for (auto& p : net.params()) p->grad().fill(1.0f);
+    net.zero_grad();
+    for (auto& p : net.params()) EXPECT_EQ(p->grad().sum(), 0.0);
+}
+
+Network
+make_cnn(Rng& rng, const std::string& name = "cnn")
+{
+    Network net(name);
+    net.emplace<Conv2d>("conv1", 1, 4, 3, 1, 1, rng)
+        .emplace<ReLU>()
+        .emplace<Conv2d>("conv2", 4, 4, 3, 1, 1, rng)
+        .emplace<ReLU>()
+        .emplace<Flatten>()
+        .emplace<Linear>("fc", 4 * 8 * 8, 3, rng);
+    return net;
+}
+
+TEST(Network, ConvLayerIndices)
+{
+    Rng rng(9);
+    Network net = make_cnn(rng);
+    const auto idx = net.conv_layer_indices();
+    ASSERT_EQ(idx.size(), 2u);
+    EXPECT_EQ(idx[0], 0u);
+    EXPECT_EQ(idx[1], 2u);
+}
+
+TEST(Network, FreezeFirstConvs)
+{
+    Rng rng(10);
+    Network net = make_cnn(rng);
+    net.freeze_first_convs(1);
+    EXPECT_LT(net.trainable_param_count(), net.param_count());
+    const auto idx = net.conv_layer_indices();
+    for (auto& p : net.layer(idx[0]).params()) EXPECT_TRUE(p->frozen());
+    for (auto& p : net.layer(idx[1]).params())
+        EXPECT_FALSE(p->frozen());
+    net.unfreeze_all();
+    EXPECT_EQ(net.trainable_param_count(), net.param_count());
+}
+
+TEST(Network, FreezeTooManyDies)
+{
+    Rng rng(11);
+    Network net = make_cnn(rng);
+    EXPECT_DEATH(net.freeze_first_convs(3), "conv layers");
+}
+
+TEST(Network, CopyConvsCopiesValuesNotStorage)
+{
+    Rng rng(12);
+    Network a = make_cnn(rng, "a");
+    Network b = make_cnn(rng, "b");
+    b.copy_convs_from(a, 2);
+    const auto ia = a.conv_layer_indices();
+    const auto ib = b.conv_layer_indices();
+    auto pa = a.layer(ia[0]).params();
+    auto pb = b.layer(ib[0]).params();
+    EXPECT_NE(pa[0].get(), pb[0].get()); // distinct storage
+    for (int64_t i = 0; i < pa[0]->numel(); ++i)
+        EXPECT_EQ(pa[0]->value().at(i), pb[0]->value().at(i));
+    EXPECT_EQ(b.shared_conv_prefix(a), 0u);
+}
+
+TEST(Network, ShareConvsSharesStorage)
+{
+    Rng rng(13);
+    Network a = make_cnn(rng, "a");
+    Network b = make_cnn(rng, "b");
+    b.share_convs_from(a, 1);
+    EXPECT_EQ(b.shared_conv_prefix(a), 1u);
+    const auto ia = a.conv_layer_indices();
+    const auto ib = b.conv_layer_indices();
+    auto pa = a.layer(ia[0]).params();
+    auto pb = b.layer(ib[0]).params();
+    EXPECT_EQ(pa[0].get(), pb[0].get());
+    // A write through one network is visible through the other.
+    pa[0]->value().at(0) = 123.0f;
+    EXPECT_EQ(pb[0]->value().at(0), 123.0f);
+}
+
+TEST(Network, SharedParamsReportedOnce)
+{
+    Rng rng(14);
+    Network a = make_cnn(rng, "a");
+    Network b = make_cnn(rng, "b");
+    const int64_t before = b.param_count();
+    b.share_convs_from(a, 2);
+    EXPECT_EQ(b.param_count(), before); // same shapes, counted once
+    EXPECT_EQ(b.params().size(), 6u);
+}
+
+TEST(Sgd, DescendsOnQuadratic)
+{
+    // Minimize f(w) = (w - 3)^2 by hand-feeding gradients.
+    auto p = std::make_shared<Parameter>("w", std::vector<int64_t>{1});
+    p->value().at(0) = 0.0f;
+    Sgd opt({.lr = 0.1, .momentum = 0.0, .weight_decay = 0.0});
+    for (int i = 0; i < 100; ++i) {
+        p->zero_grad();
+        p->grad().at(0) = 2.0f * (p->value().at(0) - 3.0f);
+        opt.step({p});
+    }
+    EXPECT_NEAR(p->value().at(0), 3.0f, 1e-3f);
+}
+
+TEST(Sgd, SkipsFrozenParams)
+{
+    auto p = std::make_shared<Parameter>("w", std::vector<int64_t>{1});
+    p->set_frozen(true);
+    p->grad().at(0) = 1.0f;
+    Sgd opt({.lr = 0.1});
+    opt.step({p});
+    EXPECT_EQ(p->value().at(0), 0.0f);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent)
+{
+    auto run = [](double momentum) {
+        auto p =
+            std::make_shared<Parameter>("w", std::vector<int64_t>{1});
+        p->value().at(0) = 10.0f;
+        Sgd opt({.lr = 0.01, .momentum = momentum});
+        for (int i = 0; i < 20; ++i) {
+            p->zero_grad();
+            p->grad().at(0) = 2.0f * p->value().at(0);
+            opt.step({p});
+        }
+        return std::abs(p->value().at(0));
+    };
+    EXPECT_LT(run(0.9), run(0.0));
+}
+
+TEST(Trainer, LearnsLinearlySeparableProblem)
+{
+    // Two Gaussian blobs in 2-D must be separable by a tiny MLP.
+    Rng rng(15);
+    const int64_t n = 200;
+    Tensor x({n, 2});
+    std::vector<int64_t> y(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+        const int64_t cls = i % 2;
+        y[static_cast<size_t>(i)] = cls;
+        const float cx = cls ? 2.0f : -2.0f;
+        x.at(i * 2 + 0) = cx + static_cast<float>(rng.normal(0, 0.5));
+        x.at(i * 2 + 1) = static_cast<float>(rng.normal(0, 0.5));
+    }
+    Network net("toy");
+    net.emplace<Linear>("fc1", 2, 8, rng)
+        .emplace<ReLU>()
+        .emplace<Linear>("fc2", 8, 2, rng);
+    Sgd opt({.lr = 0.1, .momentum = 0.9});
+    const auto stats = train_epochs(net, opt, x, y, 16, 10, rng);
+    EXPECT_LT(stats.back().mean_loss, stats.front().mean_loss);
+    EXPECT_GT(evaluate_accuracy(net, x, y), 0.95);
+}
+
+TEST(Trainer, GatherRows)
+{
+    Tensor x({3, 2}, {0, 1, 2, 3, 4, 5});
+    const Tensor g = gather_rows(x, {2, 0});
+    EXPECT_EQ(g.at(0, 0), 4.0f);
+    EXPECT_EQ(g.at(1, 1), 1.0f);
+}
+
+TEST(Serialize, RoundTripRestoresWeights)
+{
+    Rng rng(16);
+    Network a = make_cnn(rng, "net");
+    Network b = make_cnn(rng, "net");
+    std::stringstream ss;
+    save_weights(a, ss);
+    ASSERT_TRUE(load_weights(b, ss));
+    auto pa = a.params();
+    auto pb = b.params();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t i = 0; i < pa.size(); ++i)
+        for (int64_t j = 0; j < pa[i]->numel(); ++j)
+            EXPECT_EQ(pa[i]->value().at(j), pb[i]->value().at(j));
+}
+
+TEST(Serialize, RejectsMismatchedNetwork)
+{
+    Rng rng(17);
+    Network a = make_cnn(rng);
+    Network b = make_mlp(rng);
+    std::stringstream ss;
+    save_weights(a, ss);
+    EXPECT_FALSE(load_weights(b, ss));
+}
+
+TEST(Serialize, RejectsGarbageStream)
+{
+    Rng rng(18);
+    Network a = make_mlp(rng);
+    std::stringstream ss("not a weight file");
+    EXPECT_FALSE(load_weights(a, ss));
+}
+
+TEST(Network, SummaryMentionsLayers)
+{
+    Rng rng(19);
+    Network net = make_cnn(rng, "demo");
+    const std::string s = net.summary();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("conv1"), std::string::npos);
+    EXPECT_NE(s.find("trainable"), std::string::npos);
+}
+
+} // namespace
+} // namespace insitu

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the Single-running duty-cycle scheduler.
+ */
+#include <gtest/gtest.h>
+
+#include "iot/scheduler.h"
+
+namespace insitu {
+namespace {
+
+DutyCycleConfig
+default_config()
+{
+    DutyCycleConfig c;
+    c.frames_per_day = 5000;
+    c.latency_requirement_s = 0.033;
+    return c;
+}
+
+TEST(DutyCycle, PlanIsFeasibleForModestWorkload)
+{
+    DutyCycleScheduler scheduler(GpuModel(tx1_spec()),
+                                 default_config());
+    const DutyCyclePlan plan = scheduler.plan(
+        alexnet_desc(), diagnosis_desc(alexnet_desc()));
+    EXPECT_TRUE(plan.feasible);
+    EXPECT_GT(plan.inference_busy_s, 0.0);
+    EXPECT_GT(plan.diagnosis_busy_s, 0.0);
+    EXPECT_LE(plan.day_utilization, 1.0);
+    EXPECT_LE(plan.night_utilization, 1.0);
+    EXPECT_GT(plan.energy_headroom_wh(scheduler.config()), 0.0);
+}
+
+TEST(DutyCycle, BusyTimeScalesWithFrames)
+{
+    DutyCycleConfig light = default_config();
+    DutyCycleConfig heavy = default_config();
+    heavy.frames_per_day = 50000;
+    const NetworkDesc net = alexnet_desc();
+    const NetworkDesc diag = diagnosis_desc(net);
+    const auto pl = DutyCycleScheduler(GpuModel(tx1_spec()), light)
+                        .plan(net, diag);
+    const auto ph = DutyCycleScheduler(GpuModel(tx1_spec()), heavy)
+                        .plan(net, diag);
+    EXPECT_GT(ph.inference_busy_s, 5.0 * pl.inference_busy_s);
+    EXPECT_GT(ph.energy_wh, pl.energy_wh);
+}
+
+TEST(DutyCycle, InfeasibleWhenBatteryTooSmall)
+{
+    DutyCycleConfig config = default_config();
+    config.battery_wh_per_day = 1.0; // idle draw alone exceeds this
+    DutyCycleScheduler scheduler(GpuModel(tx1_spec()), config);
+    const auto plan = scheduler.plan(alexnet_desc(),
+                                     diagnosis_desc(alexnet_desc()));
+    EXPECT_FALSE(plan.feasible);
+    EXPECT_LT(plan.energy_headroom_wh(config), 0.0);
+}
+
+TEST(DutyCycle, InfeasibleWhenWindowOverflows)
+{
+    DutyCycleConfig config = default_config();
+    config.frames_per_day = 5e8; // no window fits this
+    DutyCycleScheduler scheduler(GpuModel(tx1_spec()), config);
+    const auto plan = scheduler.plan(alexnet_desc(),
+                                     diagnosis_desc(alexnet_desc()));
+    EXPECT_FALSE(plan.feasible);
+    EXPECT_GT(plan.day_utilization, 1.0);
+}
+
+TEST(DutyCycle, DiagnosisUsesBiggerBatchesThanInference)
+{
+    DutyCycleScheduler scheduler(GpuModel(tx1_spec()),
+                                 default_config());
+    const auto plan = scheduler.plan(alexnet_desc(),
+                                     diagnosis_desc(alexnet_desc()));
+    // Latency-free night work batches much larger (Eq 9 limited).
+    EXPECT_GT(plan.tasks.diagnosis_batch,
+              plan.tasks.inference_batch);
+}
+
+TEST(DutyCycle, IdlePowerDominatesAtTinyWorkloads)
+{
+    DutyCycleConfig config = default_config();
+    config.frames_per_day = 10;
+    DutyCycleScheduler scheduler(GpuModel(tx1_spec()), config);
+    const auto plan = scheduler.plan(alexnet_desc(),
+                                     diagnosis_desc(alexnet_desc()));
+    // 24h of idle at 1.5 W is 36 Wh; busy time is negligible.
+    EXPECT_NEAR(plan.energy_wh, 36.0, 1.0);
+}
+
+} // namespace
+} // namespace insitu

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for util: RNG determinism/statistics, table and CSV
+ * rendering.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace insitu {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next_u64() == b.next_u64()) ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniform();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double acc = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) acc += rng.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMeanAndVariance)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(17);
+    for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(7), 7u);
+}
+
+TEST(Rng, NextBelowCoversAllValues)
+{
+    Rng rng(19);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(5));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntInclusiveRange)
+{
+    Rng rng(23);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.uniform_int(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(29);
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    auto sorted = v;
+    rng.shuffle(v);
+    EXPECT_FALSE(v == sorted); // astronomically unlikely to be identity
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng parent(31);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (parent.next_u64() == child.next_u64()) ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(37);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (rng.bernoulli(0.3)) ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TablePrinter t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+    EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+}
+
+TEST(Table, RowArityMismatchPanics)
+{
+    TablePrinter t({"a", "b"});
+    EXPECT_DEATH(t.add_row({"only-one"}), "arity");
+}
+
+TEST(Csv, BasicRoundTrip)
+{
+    CsvWriter w({"x", "y"});
+    w.add_row({"1", "2"});
+    EXPECT_EQ(w.to_string(), "x,y\n1,2\n");
+}
+
+TEST(Csv, EscapesSpecialCharacters)
+{
+    CsvWriter w({"text"});
+    w.add_row({"hello, \"world\""});
+    EXPECT_EQ(w.to_string(), "text\n\"hello, \"\"world\"\"\"\n");
+}
+
+} // namespace
+} // namespace insitu
