@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_permutations.dir/bench_ablation_permutations.cc.o"
+  "CMakeFiles/bench_ablation_permutations.dir/bench_ablation_permutations.cc.o.d"
+  "bench_ablation_permutations"
+  "bench_ablation_permutations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_permutations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pretext.dir/bench_ablation_pretext.cc.o"
+  "CMakeFiles/bench_ablation_pretext.dir/bench_ablation_pretext.cc.o.d"
+  "bench_ablation_pretext"
+  "bench_ablation_pretext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pretext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

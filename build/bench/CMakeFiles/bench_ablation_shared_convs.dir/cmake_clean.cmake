@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shared_convs.dir/bench_ablation_shared_convs.cc.o"
+  "CMakeFiles/bench_ablation_shared_convs.dir/bench_ablation_shared_convs.cc.o.d"
+  "bench_ablation_shared_convs"
+  "bench_ablation_shared_convs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shared_convs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

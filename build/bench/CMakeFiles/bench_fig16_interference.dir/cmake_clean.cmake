@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_interference.dir/bench_fig16_interference.cc.o"
+  "CMakeFiles/bench_fig16_interference.dir/bench_fig16_interference.cc.o.d"
+  "bench_fig16_interference"
+  "bench_fig16_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

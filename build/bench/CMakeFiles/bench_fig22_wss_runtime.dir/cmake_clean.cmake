@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_wss_runtime.dir/bench_fig22_wss_runtime.cc.o"
+  "CMakeFiles/bench_fig22_wss_runtime.dir/bench_fig22_wss_runtime.cc.o.d"
+  "bench_fig22_wss_runtime"
+  "bench_fig22_wss_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_wss_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

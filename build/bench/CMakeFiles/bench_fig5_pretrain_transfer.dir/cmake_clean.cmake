@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_pretrain_transfer.dir/bench_fig5_pretrain_transfer.cc.o"
+  "CMakeFiles/bench_fig5_pretrain_transfer.dir/bench_fig5_pretrain_transfer.cc.o.d"
+  "bench_fig5_pretrain_transfer"
+  "bench_fig5_pretrain_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_pretrain_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_layer_locking.dir/bench_fig6_layer_locking.cc.o"
+  "CMakeFiles/bench_fig6_layer_locking.dir/bench_fig6_layer_locking.cc.o.d"
+  "bench_fig6_layer_locking"
+  "bench_fig6_layer_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_layer_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

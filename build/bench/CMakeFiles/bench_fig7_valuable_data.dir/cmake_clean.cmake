@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_valuable_data.dir/bench_fig7_valuable_data.cc.o"
+  "CMakeFiles/bench_fig7_valuable_data.dir/bench_fig7_valuable_data.cc.o.d"
+  "bench_fig7_valuable_data"
+  "bench_fig7_valuable_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_valuable_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fleet_scaling.dir/bench_fleet_scaling.cc.o"
+  "CMakeFiles/bench_fleet_scaling.dir/bench_fleet_scaling.cc.o.d"
+  "bench_fleet_scaling"
+  "bench_fleet_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fleet_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

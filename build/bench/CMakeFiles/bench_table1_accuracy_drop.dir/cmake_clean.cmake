@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_accuracy_drop.dir/bench_table1_accuracy_drop.cc.o"
+  "CMakeFiles/bench_table1_accuracy_drop.dir/bench_table1_accuracy_drop.cc.o.d"
+  "bench_table1_accuracy_drop"
+  "bench_table1_accuracy_drop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_accuracy_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

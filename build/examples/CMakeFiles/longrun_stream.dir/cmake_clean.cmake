@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longrun_stream.dir/longrun_stream.cpp.o"
+  "CMakeFiles/longrun_stream.dir/longrun_stream.cpp.o.d"
+  "longrun_stream"
+  "longrun_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longrun_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_cli.dir/planner_cli.cpp.o"
+  "CMakeFiles/planner_cli.dir/planner_cli.cpp.o.d"
+  "planner_cli"
+  "planner_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

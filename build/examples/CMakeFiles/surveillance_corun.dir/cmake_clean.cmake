@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveillance_corun.dir/surveillance_corun.cpp.o"
+  "CMakeFiles/surveillance_corun.dir/surveillance_corun.cpp.o.d"
+  "surveillance_corun"
+  "surveillance_corun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveillance_corun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wildlife_monitor.dir/wildlife_monitor.cpp.o"
+  "CMakeFiles/wildlife_monitor.dir/wildlife_monitor.cpp.o.d"
+  "wildlife_monitor"
+  "wildlife_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wildlife_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_analytics.dir/measured.cc.o"
+  "CMakeFiles/insitu_analytics.dir/measured.cc.o.d"
+  "CMakeFiles/insitu_analytics.dir/planner.cc.o"
+  "CMakeFiles/insitu_analytics.dir/planner.cc.o.d"
+  "libinsitu_analytics.a"
+  "libinsitu_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

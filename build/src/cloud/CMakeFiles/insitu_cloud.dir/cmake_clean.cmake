@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_cloud.dir/cost_model.cc.o"
+  "CMakeFiles/insitu_cloud.dir/cost_model.cc.o.d"
+  "CMakeFiles/insitu_cloud.dir/registry.cc.o"
+  "CMakeFiles/insitu_cloud.dir/registry.cc.o.d"
+  "CMakeFiles/insitu_cloud.dir/update_service.cc.o"
+  "CMakeFiles/insitu_cloud.dir/update_service.cc.o.d"
+  "libinsitu_cloud.a"
+  "libinsitu_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_core.dir/framework.cc.o"
+  "CMakeFiles/insitu_core.dir/framework.cc.o.d"
+  "libinsitu_core.a"
+  "libinsitu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_data.dir/condition.cc.o"
+  "CMakeFiles/insitu_data.dir/condition.cc.o.d"
+  "CMakeFiles/insitu_data.dir/schedule.cc.o"
+  "CMakeFiles/insitu_data.dir/schedule.cc.o.d"
+  "CMakeFiles/insitu_data.dir/stream.cc.o"
+  "CMakeFiles/insitu_data.dir/stream.cc.o.d"
+  "CMakeFiles/insitu_data.dir/synth.cc.o"
+  "CMakeFiles/insitu_data.dir/synth.cc.o.d"
+  "libinsitu_data.a"
+  "libinsitu_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

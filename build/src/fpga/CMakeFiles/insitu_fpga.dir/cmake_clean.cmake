@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_fpga.dir/arch.cc.o"
+  "CMakeFiles/insitu_fpga.dir/arch.cc.o.d"
+  "CMakeFiles/insitu_fpga.dir/pipeline.cc.o"
+  "CMakeFiles/insitu_fpga.dir/pipeline.cc.o.d"
+  "libinsitu_fpga.a"
+  "libinsitu_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

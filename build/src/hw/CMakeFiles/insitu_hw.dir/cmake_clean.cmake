@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_hw.dir/battery.cc.o"
+  "CMakeFiles/insitu_hw.dir/battery.cc.o.d"
+  "CMakeFiles/insitu_hw.dir/fpga_model.cc.o"
+  "CMakeFiles/insitu_hw.dir/fpga_model.cc.o.d"
+  "CMakeFiles/insitu_hw.dir/gpu_model.cc.o"
+  "CMakeFiles/insitu_hw.dir/gpu_model.cc.o.d"
+  "CMakeFiles/insitu_hw.dir/spec.cc.o"
+  "CMakeFiles/insitu_hw.dir/spec.cc.o.d"
+  "libinsitu_hw.a"
+  "libinsitu_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_iot.dir/fleet.cc.o"
+  "CMakeFiles/insitu_iot.dir/fleet.cc.o.d"
+  "CMakeFiles/insitu_iot.dir/node.cc.o"
+  "CMakeFiles/insitu_iot.dir/node.cc.o.d"
+  "CMakeFiles/insitu_iot.dir/scheduler.cc.o"
+  "CMakeFiles/insitu_iot.dir/scheduler.cc.o.d"
+  "CMakeFiles/insitu_iot.dir/system.cc.o"
+  "CMakeFiles/insitu_iot.dir/system.cc.o.d"
+  "CMakeFiles/insitu_iot.dir/tasks.cc.o"
+  "CMakeFiles/insitu_iot.dir/tasks.cc.o.d"
+  "CMakeFiles/insitu_iot.dir/uplink.cc.o"
+  "CMakeFiles/insitu_iot.dir/uplink.cc.o.d"
+  "libinsitu_iot.a"
+  "libinsitu_iot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_iot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_models.dir/descriptor.cc.o"
+  "CMakeFiles/insitu_models.dir/descriptor.cc.o.d"
+  "CMakeFiles/insitu_models.dir/tiny.cc.o"
+  "CMakeFiles/insitu_models.dir/tiny.cc.o.d"
+  "libinsitu_models.a"
+  "libinsitu_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

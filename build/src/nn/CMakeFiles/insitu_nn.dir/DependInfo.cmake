@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/nn/CMakeFiles/insitu_nn.dir/activations.cc.o" "gcc" "src/nn/CMakeFiles/insitu_nn.dir/activations.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/nn/CMakeFiles/insitu_nn.dir/conv2d.cc.o" "gcc" "src/nn/CMakeFiles/insitu_nn.dir/conv2d.cc.o.d"
+  "/root/repo/src/nn/grad_check.cc" "src/nn/CMakeFiles/insitu_nn.dir/grad_check.cc.o" "gcc" "src/nn/CMakeFiles/insitu_nn.dir/grad_check.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/insitu_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/insitu_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/insitu_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/insitu_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/insitu_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/insitu_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/lrn.cc" "src/nn/CMakeFiles/insitu_nn.dir/lrn.cc.o" "gcc" "src/nn/CMakeFiles/insitu_nn.dir/lrn.cc.o.d"
+  "/root/repo/src/nn/metrics.cc" "src/nn/CMakeFiles/insitu_nn.dir/metrics.cc.o" "gcc" "src/nn/CMakeFiles/insitu_nn.dir/metrics.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/nn/CMakeFiles/insitu_nn.dir/network.cc.o" "gcc" "src/nn/CMakeFiles/insitu_nn.dir/network.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/insitu_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/insitu_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/pooling.cc" "src/nn/CMakeFiles/insitu_nn.dir/pooling.cc.o" "gcc" "src/nn/CMakeFiles/insitu_nn.dir/pooling.cc.o.d"
+  "/root/repo/src/nn/quantize.cc" "src/nn/CMakeFiles/insitu_nn.dir/quantize.cc.o" "gcc" "src/nn/CMakeFiles/insitu_nn.dir/quantize.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/insitu_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/insitu_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/nn/CMakeFiles/insitu_nn.dir/trainer.cc.o" "gcc" "src/nn/CMakeFiles/insitu_nn.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/insitu_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/insitu_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

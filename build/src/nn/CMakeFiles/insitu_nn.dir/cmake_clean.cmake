@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_nn.dir/activations.cc.o"
+  "CMakeFiles/insitu_nn.dir/activations.cc.o.d"
+  "CMakeFiles/insitu_nn.dir/conv2d.cc.o"
+  "CMakeFiles/insitu_nn.dir/conv2d.cc.o.d"
+  "CMakeFiles/insitu_nn.dir/grad_check.cc.o"
+  "CMakeFiles/insitu_nn.dir/grad_check.cc.o.d"
+  "CMakeFiles/insitu_nn.dir/layer.cc.o"
+  "CMakeFiles/insitu_nn.dir/layer.cc.o.d"
+  "CMakeFiles/insitu_nn.dir/linear.cc.o"
+  "CMakeFiles/insitu_nn.dir/linear.cc.o.d"
+  "CMakeFiles/insitu_nn.dir/loss.cc.o"
+  "CMakeFiles/insitu_nn.dir/loss.cc.o.d"
+  "CMakeFiles/insitu_nn.dir/lrn.cc.o"
+  "CMakeFiles/insitu_nn.dir/lrn.cc.o.d"
+  "CMakeFiles/insitu_nn.dir/metrics.cc.o"
+  "CMakeFiles/insitu_nn.dir/metrics.cc.o.d"
+  "CMakeFiles/insitu_nn.dir/network.cc.o"
+  "CMakeFiles/insitu_nn.dir/network.cc.o.d"
+  "CMakeFiles/insitu_nn.dir/optimizer.cc.o"
+  "CMakeFiles/insitu_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/insitu_nn.dir/pooling.cc.o"
+  "CMakeFiles/insitu_nn.dir/pooling.cc.o.d"
+  "CMakeFiles/insitu_nn.dir/quantize.cc.o"
+  "CMakeFiles/insitu_nn.dir/quantize.cc.o.d"
+  "CMakeFiles/insitu_nn.dir/serialize.cc.o"
+  "CMakeFiles/insitu_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/insitu_nn.dir/trainer.cc.o"
+  "CMakeFiles/insitu_nn.dir/trainer.cc.o.d"
+  "libinsitu_nn.a"
+  "libinsitu_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

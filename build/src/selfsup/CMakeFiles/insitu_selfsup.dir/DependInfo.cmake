@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selfsup/jigsaw.cc" "src/selfsup/CMakeFiles/insitu_selfsup.dir/jigsaw.cc.o" "gcc" "src/selfsup/CMakeFiles/insitu_selfsup.dir/jigsaw.cc.o.d"
+  "/root/repo/src/selfsup/permutation.cc" "src/selfsup/CMakeFiles/insitu_selfsup.dir/permutation.cc.o" "gcc" "src/selfsup/CMakeFiles/insitu_selfsup.dir/permutation.cc.o.d"
+  "/root/repo/src/selfsup/relative.cc" "src/selfsup/CMakeFiles/insitu_selfsup.dir/relative.cc.o" "gcc" "src/selfsup/CMakeFiles/insitu_selfsup.dir/relative.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/insitu_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/insitu_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/insitu_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_selfsup.dir/jigsaw.cc.o"
+  "CMakeFiles/insitu_selfsup.dir/jigsaw.cc.o.d"
+  "CMakeFiles/insitu_selfsup.dir/permutation.cc.o"
+  "CMakeFiles/insitu_selfsup.dir/permutation.cc.o.d"
+  "CMakeFiles/insitu_selfsup.dir/relative.cc.o"
+  "CMakeFiles/insitu_selfsup.dir/relative.cc.o.d"
+  "libinsitu_selfsup.a"
+  "libinsitu_selfsup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_selfsup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

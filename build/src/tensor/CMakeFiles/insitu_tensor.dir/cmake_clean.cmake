@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_tensor.dir/ops.cc.o"
+  "CMakeFiles/insitu_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/insitu_tensor.dir/tensor.cc.o"
+  "CMakeFiles/insitu_tensor.dir/tensor.cc.o.d"
+  "libinsitu_tensor.a"
+  "libinsitu_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_util.dir/csv.cc.o"
+  "CMakeFiles/insitu_util.dir/csv.cc.o.d"
+  "CMakeFiles/insitu_util.dir/logging.cc.o"
+  "CMakeFiles/insitu_util.dir/logging.cc.o.d"
+  "CMakeFiles/insitu_util.dir/table.cc.o"
+  "CMakeFiles/insitu_util.dir/table.cc.o.d"
+  "libinsitu_util.a"
+  "libinsitu_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

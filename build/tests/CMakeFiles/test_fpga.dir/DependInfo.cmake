@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fpga.cc" "tests/CMakeFiles/test_fpga.dir/test_fpga.cc.o" "gcc" "tests/CMakeFiles/test_fpga.dir/test_fpga.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fpga/CMakeFiles/insitu_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/insitu_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/insitu_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/selfsup/CMakeFiles/insitu_selfsup.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/insitu_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/insitu_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/insitu_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

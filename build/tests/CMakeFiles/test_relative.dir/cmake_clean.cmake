@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relative.dir/test_relative.cc.o"
+  "CMakeFiles/test_relative.dir/test_relative.cc.o.d"
+  "test_relative"
+  "test_relative.pdb"
+  "test_relative[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selfsup.dir/test_selfsup.cc.o"
+  "CMakeFiles/test_selfsup.dir/test_selfsup.cc.o.d"
+  "test_selfsup"
+  "test_selfsup.pdb"
+  "test_selfsup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selfsup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
