@@ -71,6 +71,39 @@ ModelUpdateService::update(const Dataset& data,
     return report;
 }
 
+ValidatedUpdateReport
+ModelUpdateService::validated_update(const Dataset& data,
+                                     const UpdatePolicy& policy,
+                                     const Dataset& holdout,
+                                     double tolerance)
+{
+    INSITU_CHECK(holdout.size() > 0,
+                 "validation gate needs a holdout set");
+    INSITU_CHECK(tolerance >= 0, "tolerance must be non-negative");
+    ValidatedUpdateReport report;
+    report.holdout_before = evaluate(holdout);
+    report.baseline_version =
+        registry_.commit(inference_, "pre-update",
+                         report.holdout_before, images_received_);
+    report.update = update(data, policy);
+    const double after = evaluate(holdout);
+    report.holdout_trained = after;
+    if (after + tolerance < report.holdout_before) {
+        // The update regressed: restore the snapshot so the bad
+        // weights never deploy.
+        INSITU_CHECK(
+            registry_.restore(report.baseline_version, inference_),
+            "rollback to the pre-update snapshot failed");
+        report.rolled_back = true;
+        report.holdout_after = report.holdout_before;
+    } else {
+        report.holdout_after = after;
+        registry_.commit(inference_, "accepted", after,
+                         images_received_);
+    }
+    return report;
+}
+
 double
 ModelUpdateService::evaluate(const Dataset& data)
 {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include "cloud/cost_model.h"
+#include "cloud/registry.h"
 #include "data/synth.h"
 #include "models/tiny.h"
 #include "nn/optimizer.h"
@@ -36,6 +37,20 @@ struct UpdateReport {
     double mean_loss = 0;
     double wall_seconds = 0;   ///< actual CPU time spent here
     TrainingCost modeled;      ///< cost at paper scale on the cloud GPU
+};
+
+/** Outcome of one validation-gated update job. */
+struct ValidatedUpdateReport {
+    UpdateReport update;
+    double holdout_before = 0; ///< holdout accuracy pre-update
+    double holdout_after = 0;  ///< holdout accuracy of what deploys
+    /// Raw post-training holdout accuracy, kept even when the gate
+    /// rejects the update (then holdout_after == holdout_before but
+    /// holdout_trained shows how bad the refused weights were).
+    double holdout_trained = 0;
+    bool rolled_back = false;  ///< update regressed and was rejected
+    int64_t baseline_version = 0; ///< registry id of the pre-update
+                                  ///< snapshot (the rollback target)
 };
 
 /** Cloud training/update service over the TinyNet family. */
@@ -65,6 +80,21 @@ class ModelUpdateService {
     /** Supervised (incremental) update of the inference network. */
     UpdateReport update(const Dataset& data, const UpdatePolicy& policy);
 
+    /**
+     * Supervised update behind a validation gate: snapshot the
+     * current weights into the registry, train on @p data, then
+     * re-evaluate on @p holdout. If accuracy regressed by more than
+     * @p tolerance the update is rejected — the snapshot is restored
+     * and never deploys. Incremental training on autonomous uploads
+     * can regress (bad labels, adversarial drift); this is the
+     * cloud-side guard that keeps a bad stage from poisoning the
+     * whole fleet.
+     */
+    ValidatedUpdateReport validated_update(const Dataset& data,
+                                           const UpdatePolicy& policy,
+                                           const Dataset& holdout,
+                                           double tolerance = 0.02);
+
     /** Inference accuracy on a labeled dataset. */
     double evaluate(const Dataset& data);
 
@@ -78,6 +108,8 @@ class ModelUpdateService {
     const PermutationSet& permutations() const { return perms_; }
     const TinyConfig& config() const { return config_; }
     const TrainingCostModel& cost_model() const { return cost_; }
+    ModelRegistry& registry() { return registry_; }
+    const ModelRegistry& registry() const { return registry_; }
 
     /** Total labeled images consumed by update() so far. */
     int64_t images_received() const { return images_received_; }
@@ -89,6 +121,7 @@ class ModelUpdateService {
     PermutationSet perms_;
     JigsawNetwork jigsaw_;
     Network inference_;
+    ModelRegistry registry_;
     int64_t images_received_ = 0;
 };
 

@@ -1,0 +1,43 @@
+#include "faults/fault_injector.h"
+
+namespace insitu {
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed)
+{
+    plan_.validated();
+}
+
+bool
+FaultInjector::drop_payload()
+{
+    const bool lost = rng_.bernoulli(plan_.payload_loss_prob);
+    if (lost) ++log_.payloads_lost;
+    return lost;
+}
+
+bool
+FaultInjector::corrupt_payload()
+{
+    const bool corrupted = rng_.bernoulli(plan_.payload_corrupt_prob);
+    if (corrupted) ++log_.payloads_corrupted;
+    return corrupted;
+}
+
+bool
+FaultInjector::node_crashes(int stage, int node)
+{
+    const bool crash = plan_.crashes_at(stage, node);
+    if (crash) ++log_.crashes;
+    return crash;
+}
+
+bool
+FaultInjector::update_poisoned(int stage)
+{
+    const bool poisoned = plan_.poisoned_at(stage);
+    if (poisoned) ++log_.poisoned_updates;
+    return poisoned;
+}
+
+} // namespace insitu

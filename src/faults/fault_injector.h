@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection.
+ *
+ * A FaultInjector turns a FaultPlan into concrete per-event decisions:
+ * Bernoulli draws for payload loss/corruption from one private Rng,
+ * pure lookups for outage windows, crash and poison events. Because
+ * every stochastic decision comes from the injector's own seeded
+ * stream and callers query it in a deterministic order, an entire
+ * chaos run replays bit-identically from (config seed, plan seed).
+ *
+ * The injector also keeps a FaultLog of everything it injected, so
+ * resilience reports can separate "faults thrown at the system" from
+ * "damage the system actually took".
+ */
+#pragma once
+
+#include "faults/fault_plan.h"
+#include "util/rng.h"
+
+namespace insitu {
+
+/** Tally of the faults an injector has materialized. */
+struct FaultLog {
+    int64_t payloads_lost = 0;      ///< transmissions with no ack
+    int64_t payloads_corrupted = 0; ///< transmissions with bad bits
+    int64_t crashes = 0;            ///< node reboot events fired
+    int64_t poisoned_updates = 0;   ///< poisoned stages fired
+};
+
+/** Decides, reproducibly, which planned faults actually happen. */
+class FaultInjector {
+  public:
+    explicit FaultInjector(FaultPlan plan);
+
+    const FaultPlan& plan() const { return plan_; }
+    const FaultLog& log() const { return log_; }
+
+    /** Is the link down at simulation time @p t? (pure) */
+    bool link_down(double t) const { return plan_.link_down(t); }
+
+    /** First time >= @p t at which the link is up again. (pure) */
+    double outage_end(double t) const { return plan_.outage_end(t); }
+
+    /**
+     * Draw: does this transmission attempt vanish in flight?
+     * Consumes one uniform from the injector stream either way.
+     */
+    bool drop_payload();
+
+    /**
+     * Draw: does this transmission arrive bit-flipped? The caller is
+     * expected to detect this via its payload checksum.
+     */
+    bool corrupt_payload();
+
+    /** Fire (and log) a planned crash of @p node at @p stage. */
+    bool node_crashes(int stage, int node);
+
+    /** Fire (and log) a planned poisoned update at @p stage. */
+    bool update_poisoned(int stage);
+
+  private:
+    FaultPlan plan_;
+    Rng rng_;
+    FaultLog log_;
+};
+
+} // namespace insitu

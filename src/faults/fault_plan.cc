@@ -1,0 +1,74 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace insitu {
+
+bool
+FaultPlan::empty() const
+{
+    return outages.empty() && payload_loss_prob == 0.0 &&
+           payload_corrupt_prob == 0.0 && crashes.empty() &&
+           poisoned_stages.empty();
+}
+
+bool
+FaultPlan::link_down(double t) const
+{
+    return std::any_of(outages.begin(), outages.end(),
+                       [t](const OutageWindow& w) {
+                           return t >= w.from_s && t < w.to_s;
+                       });
+}
+
+double
+FaultPlan::outage_end(double t) const
+{
+    // Windows may abut or overlap; chase the latest end reachable
+    // from t so a payload never transmits inside any window.
+    double end = t;
+    bool moved = true;
+    while (moved) {
+        moved = false;
+        for (const OutageWindow& w : outages) {
+            if (end >= w.from_s && end < w.to_s) {
+                end = w.to_s;
+                moved = true;
+            }
+        }
+    }
+    return end;
+}
+
+bool
+FaultPlan::crashes_at(int stage, int node) const
+{
+    return std::any_of(crashes.begin(), crashes.end(),
+                       [=](const NodeCrashEvent& e) {
+                           return e.stage == stage && e.node == node;
+                       });
+}
+
+bool
+FaultPlan::poisoned_at(int stage) const
+{
+    return std::find(poisoned_stages.begin(), poisoned_stages.end(),
+                     stage) != poisoned_stages.end();
+}
+
+const FaultPlan&
+FaultPlan::validated() const
+{
+    INSITU_CHECK(payload_loss_prob >= 0.0 && payload_loss_prob <= 1.0,
+                 "payload_loss_prob must be a probability");
+    INSITU_CHECK(
+        payload_corrupt_prob >= 0.0 && payload_corrupt_prob <= 1.0,
+        "payload_corrupt_prob must be a probability");
+    for (const OutageWindow& w : outages)
+        INSITU_CHECK(w.to_s >= w.from_s, "outage window must be ordered");
+    return *this;
+}
+
+} // namespace insitu

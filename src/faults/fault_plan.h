@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Declarative fault plan for resilience studies.
+ *
+ * The paper's premise is that the diagnosis/upload path is deferrable
+ * and the cloud loop closes *eventually* (§III-C2, Fig. 25). Real
+ * AIoT deployments test that premise with lossy duty-cycled links,
+ * node reboots and occasionally harmful incremental updates. A
+ * FaultPlan describes such a failure scenario declaratively — outage
+ * windows, per-payload loss/corruption probabilities, node crash
+ * events, poisoned-update events — so a fleet run can be replayed
+ * bit-identically from one seed.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace insitu {
+
+/** A closed-open interval [from_s, to_s) during which the link is down. */
+struct OutageWindow {
+    double from_s = 0;
+    double to_s = 0;
+};
+
+/** Node @p node reboots during stage @p stage, losing in-flight data. */
+struct NodeCrashEvent {
+    int stage = 0;
+    int node = 0;
+};
+
+/**
+ * One failure scenario. Default-constructed plans inject nothing, so
+ * fault-aware components behave exactly like their happy-path
+ * versions until a plan is supplied.
+ */
+struct FaultPlan {
+    /// Windows (simulation seconds) during which no payload moves.
+    std::vector<OutageWindow> outages;
+    /// Probability one transmission attempt vanishes (no ack).
+    double payload_loss_prob = 0.0;
+    /// Probability one transmission arrives with flipped bits
+    /// (detected by the receiver's checksum, triggering retransmit).
+    double payload_corrupt_prob = 0.0;
+    /// Node reboot events (stage-indexed; see FleetSim).
+    std::vector<NodeCrashEvent> crashes;
+    /// Stages whose pooled upload labels arrive scrambled (a bad
+    /// labeling batch / adversarial drift), exercising the cloud's
+    /// update-validation gate.
+    std::vector<int> poisoned_stages;
+    /// Seed of the injector's private random stream.
+    uint64_t seed = 0xFA17ULL;
+
+    /** True when the plan injects nothing at all. */
+    bool empty() const;
+
+    /** Is the link inside an outage window at time @p t? */
+    bool link_down(double t) const;
+
+    /**
+     * End of the outage window covering @p t, or @p t itself when the
+     * link is up.
+     */
+    double outage_end(double t) const;
+
+    /** Does @p node crash during @p stage? */
+    bool crashes_at(int stage, int node) const;
+
+    /** Are @p stage's upload labels poisoned? */
+    bool poisoned_at(int stage) const;
+
+    /**
+     * Fatal-checks internal consistency: probabilities in [0, 1],
+     * outage windows ordered. Returns *this for chaining.
+     */
+    const FaultPlan& validated() const;
+};
+
+} // namespace insitu

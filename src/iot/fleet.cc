@@ -1,5 +1,7 @@
 #include "iot/fleet.h"
 
+#include <numeric>
+
 #include "nn/trainer.h"
 #include "util/logging.h"
 
@@ -8,15 +10,26 @@ namespace insitu {
 FleetSim::FleetSim(FleetConfig config)
     : config_(config),
       cloud_(config.tiny, titan_x_spec(), config.seed),
+      injector_(config.faults),
       rng_(config.seed ^ 0xF1EE7ULL)
 {
     INSITU_CHECK(!config_.node_severity_offset.empty(),
                  "fleet needs at least one node");
-    for (size_t i = 0; i < config_.node_severity_offset.size(); ++i) {
+    INSITU_CHECK(config_.stage_window_s > 0,
+                 "stage window must be positive");
+    const size_t n = config_.node_severity_offset.size();
+    nodes_.reserve(n);
+    uplinks_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
         nodes_.emplace_back(config_.tiny, cloud_.permutations(),
                             config_.shared_convs, config_.diagnosis,
                             config_.seed + 101 * (i + 1));
+        uplinks_.emplace_back(config_.link, bytes_per_image(),
+                              config_.uplink);
+        uplinks_.back().set_fault_injector(&injector_);
     }
+    pending_uploads_.resize(n);
+    checkpoints_.resize(n);
 }
 
 InsituNode&
@@ -24,6 +37,13 @@ FleetSim::node(size_t i)
 {
     INSITU_CHECK(i < nodes_.size(), "node index out of range");
     return nodes_[i];
+}
+
+UplinkQueue&
+FleetSim::uplink(size_t i)
+{
+    INSITU_CHECK(i < uplinks_.size(), "node index out of range");
+    return uplinks_[i];
 }
 
 Condition
@@ -36,9 +56,12 @@ FleetSim::node_condition(size_t node, double base_severity) const
 void
 FleetSim::deploy_all()
 {
-    for (auto& node : nodes_) {
-        node.deploy_diagnosis(cloud_.jigsaw());
-        node.deploy_inference(cloud_.inference());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        nodes_[i].deploy_diagnosis(cloud_.jigsaw());
+        nodes_[i].deploy_inference(cloud_.inference());
+        // The checkpoint is the reboot target: a crash between
+        // deployments loses in-flight data, never the deployed model.
+        checkpoints_[i] = nodes_[i].checkpoint();
     }
 }
 
@@ -68,65 +91,158 @@ FleetSim::bootstrap(int64_t images_per_node, double base_severity)
     double acc = 0.0;
     for (auto& node : nodes_)
         acc += node.inference().accuracy(pooled);
-    return acc / static_cast<double>(nodes_.size());
+    acc /= static_cast<double>(nodes_.size());
+    // Seed the registry so the first validated update has a
+    // last-good version to fall back to.
+    cloud_.registry().commit(cloud_.inference(), "bootstrap", acc,
+                             pooled.size());
+    return acc;
 }
 
 FleetStageReport
 FleetSim::run_stage(int64_t images_per_node, double base_severity)
 {
     FleetStageReport report;
-    std::vector<Dataset> valuable_parts;
-    std::vector<Dataset> stage_data;
-    stage_data.reserve(nodes_.size());
+    report.stage = stage_index_;
+    const double window_from = clock_s_;
+    const double window_to = clock_s_ + config_.stage_window_s;
 
+    // Phase 1: nodes acquire, flag and hand flagged images to their
+    // radios. Crashed nodes reboot instead: the uplink backlog and
+    // the node-side pending buffer are lost, the model comes back
+    // from the checkpoint.
+    std::vector<Dataset> stage_data(nodes_.size());
     for (size_t i = 0; i < nodes_.size(); ++i) {
-        stage_data.push_back(
-            make_dataset(config_.synth, images_per_node,
-                         node_condition(i, base_severity), rng_));
-        const Dataset& data = stage_data.back();
-        const NodeStageReport node_report =
-            nodes_[i].process_stage(data);
         FleetNodeReport nr;
         nr.node = static_cast<int>(i);
-        nr.acquired = node_report.acquired;
-        nr.uploaded = node_report.flagged;
-        nr.flag_rate = node_report.flag_rate;
-        nr.accuracy_before = node_report.accuracy.value_or(0.0);
-        report.nodes.push_back(nr);
-        report.pooled_uploads += node_report.flagged;
+        if (injector_.node_crashes(stage_index_,
+                                   static_cast<int>(i))) {
+            nr.crashed = true;
+            ++report.crashed_nodes;
+            nr.lost_in_crash = uplinks_[i].clear();
+            pending_uploads_[i] = Dataset{};
+            INSITU_CHECK(nodes_[i].restore(checkpoints_[i]),
+                         "node reboot failed to restore checkpoint");
+        } else {
+            stage_data[i] =
+                make_dataset(config_.synth, images_per_node,
+                             node_condition(i, base_severity), rng_);
+            const Dataset& data = stage_data[i];
+            const NodeStageReport node_report =
+                nodes_[i].process_stage(data);
+            nr.acquired = node_report.acquired;
+            nr.flag_rate = node_report.flag_rate;
+            nr.accuracy_before = node_report.accuracy.value_or(0.0);
 
-        const auto idx =
-            DiagnosisTask::flagged_indices(node_report.flags);
-        Dataset valuable;
-        valuable.condition = data.condition;
-        valuable.images = gather_rows(data.images, idx);
-        for (int64_t j : idx)
-            valuable.labels.push_back(
-                data.labels[static_cast<size_t>(j)]);
-        valuable_parts.push_back(std::move(valuable));
+            const auto idx =
+                DiagnosisTask::flagged_indices(node_report.flags);
+            Dataset valuable;
+            valuable.condition = data.condition;
+            valuable.images = gather_rows(data.images, idx);
+            for (int64_t j : idx)
+                valuable.labels.push_back(
+                    data.labels[static_cast<size_t>(j)]);
+
+            if (pending_uploads_[i].size() == 0) {
+                pending_uploads_[i] = std::move(valuable);
+            } else if (valuable.size() > 0) {
+                pending_uploads_[i] = concat_datasets(
+                    {&pending_uploads_[i], &valuable});
+            }
+            const int64_t flagged =
+                static_cast<int64_t>(idx.size());
+            nr.dropped = uplinks_[i].enqueue(flagged, window_from);
+            if (nr.dropped > 0) {
+                // Keep the image buffer row-aligned with the queue:
+                // the radio evicted its oldest payloads.
+                pending_uploads_[i] = dataset_slice(
+                    pending_uploads_[i], nr.dropped,
+                    pending_uploads_[i].size());
+            }
+        }
+        report.nodes.push_back(nr);
     }
 
-    // Pool the fleet's valuable data into one cloud update.
+    // Phase 2: radios drain inside the stage window. What does not
+    // make it (outage, backoff, window end) stays queued — those
+    // stragglers deliver in a later stage, stale but not lost.
+    std::vector<Dataset> delivered_parts(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        FleetNodeReport& nr = report.nodes[i];
+        const int64_t delivered =
+            uplinks_[i].drain_window(window_from, window_to);
+        INSITU_CHECK(delivered <= pending_uploads_[i].size(),
+                     "uplink delivered more than was pending");
+        if (delivered > 0) {
+            delivered_parts[i] =
+                dataset_slice(pending_uploads_[i], 0, delivered);
+            pending_uploads_[i] = dataset_slice(
+                pending_uploads_[i], delivered,
+                pending_uploads_[i].size());
+        }
+        nr.uploaded = delivered;
+        nr.backlogged = uplinks_[i].backlog();
+        report.pooled_uploads += delivered;
+        report.straggler_backlog += nr.backlogged;
+        report.retransmits += uplinks_[i].stats().retransmits;
+        report.corrupted += uplinks_[i].stats().corrupted;
+    }
+
+    // Phase 3: one validation-gated cloud update on whatever the
+    // surviving nodes delivered (a stage with zero deliveries still
+    // completes — the fleet just redeploys the current model).
     std::vector<const Dataset*> ptrs;
-    for (const auto& p : valuable_parts)
+    for (const auto& p : delivered_parts)
         if (p.size() > 0) ptrs.push_back(&p);
     if (!ptrs.empty()) {
-        const Dataset pooled = concat_datasets(ptrs);
+        Dataset pooled = concat_datasets(ptrs);
+        report.update_ran = true;
+        if (injector_.update_poisoned(stage_index_)) {
+            // A bad labeling batch: every label shifts by half the
+            // class count — maximally wrong, and exactly what the
+            // holdout gate exists to catch.
+            report.poisoned = true;
+            const int64_t nc = config_.synth.num_classes;
+            for (auto& label : pooled.labels)
+                label = (label + nc / 2) % nc;
+        }
+        const double mean_offset =
+            std::accumulate(config_.node_severity_offset.begin(),
+                            config_.node_severity_offset.end(), 0.0) /
+            static_cast<double>(config_.node_severity_offset.size());
+        const Dataset holdout = make_dataset(
+            config_.synth, config_.holdout_images,
+            Condition::in_situ(base_severity + mean_offset), rng_);
+
         cloud_.pretrain(pooled.images,
                         config_.incremental_pretrain_epochs);
-        UpdatePolicy policy = config_.update;
+        UpdatePolicy policy =
+            config_.incremental_update.value_or(config_.update);
         policy.frozen_convs = config_.shared_convs;
-        cloud_.update(pooled, policy);
+        const ValidatedUpdateReport vr = cloud_.validated_update(
+            pooled, policy, holdout, config_.rollback_tolerance);
+        report.rolled_back = vr.rolled_back;
+        report.holdout_before = vr.holdout_before;
+        report.holdout_after = vr.holdout_after;
+        report.holdout_trained = vr.holdout_trained;
     }
     deploy_all();
 
+    // Phase 4: post-deployment accuracy. Crashed nodes acquired
+    // nothing this stage; the mean covers the nodes that did.
+    int64_t measured = 0;
     for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (report.nodes[i].crashed) continue;
         report.nodes[i].accuracy_after =
             nodes_[i].inference().accuracy(stage_data[i]);
         report.mean_accuracy_after += report.nodes[i].accuracy_after;
+        ++measured;
     }
-    report.mean_accuracy_after /=
-        static_cast<double>(nodes_.size());
+    if (measured > 0)
+        report.mean_accuracy_after /= static_cast<double>(measured);
+
+    ++stage_index_;
+    clock_s_ = window_to;
     return report;
 }
 

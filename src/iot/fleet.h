@@ -8,11 +8,25 @@
  * pools the valuable uploads from all nodes into one incremental
  * update, and redeploys the refreshed models fleet-wide — so a node
  * in a harsh micro-climate benefits from data its siblings flagged.
+ *
+ * The fleet is resilient by construction: every node's flagged images
+ * travel through a checksum-verified, bounded UplinkQueue; a
+ * FaultPlan can take the link down, lose/corrupt payloads, crash
+ * nodes mid-run and poison an update's labels. Crashed nodes reboot
+ * from their NodeCheckpoint (losing only in-flight flagged images), a
+ * stage completes with whatever the surviving nodes delivered
+ * (stragglers' backlogs drain in later stages), and every incremental
+ * update passes a holdout-accuracy gate that rolls a regressed model
+ * back to the last good registry version before it can deploy.
  */
 #pragma once
 
+#include <optional>
+
 #include "cloud/update_service.h"
+#include "faults/fault_injector.h"
 #include "iot/node.h"
+#include "iot/uplink.h"
 
 namespace insitu {
 
@@ -22,12 +36,31 @@ struct FleetConfig {
     SynthConfig synth;
     DiagnosisConfig diagnosis;
     UpdatePolicy update;
+    /// Policy for the per-stage incremental updates; defaults to
+    /// `update`. Stages train on few, hard (flagged-only) images, so
+    /// a gentler learning rate than the bootstrap's is usually right.
+    std::optional<UpdatePolicy> incremental_update;
     size_t shared_convs = 3;
     int pretrain_epochs = 2;
     int incremental_pretrain_epochs = 1;
     /// Per-node severity offsets added to the stage's base severity
     /// (one entry per node; size defines the fleet size).
     std::vector<double> node_severity_offset = {0.0, 0.1, 0.2};
+    /// Radio characteristics of every node's uplink.
+    LinkSpec link = iot_uplink_spec();
+    /// Reliability/bounding knobs of every node's uplink.
+    UplinkConfig uplink;
+    /// Simulated seconds per stage; the radio may use the whole
+    /// window, outages and backoff eat into it.
+    double stage_window_s = 600.0;
+    /// Holdout images rendered per stage for the update-validation
+    /// gate (clean labels, fleet-mean condition).
+    int64_t holdout_images = 48;
+    /// Reject (roll back) an update whose holdout accuracy drops by
+    /// more than this.
+    double rollback_tolerance = 0.02;
+    /// Failure scenario; the default injects nothing.
+    FaultPlan faults;
     uint64_t seed = 1;
 };
 
@@ -35,16 +68,32 @@ struct FleetConfig {
 struct FleetNodeReport {
     int node = 0;
     int64_t acquired = 0;
-    int64_t uploaded = 0;
+    int64_t uploaded = 0;     ///< flagged images *delivered* this stage
+    int64_t backlogged = 0;   ///< flagged images still queued (stragglers)
+    int64_t lost_in_crash = 0;///< in-flight images a reboot destroyed
+    int64_t dropped = 0;      ///< evicted by the bounded backlog
+    bool crashed = false;     ///< node rebooted during this stage
     double flag_rate = 0;
     double accuracy_before = 0;
     double accuracy_after = 0;
 };
 
-/** One fleet-wide stage. */
+/** One fleet-wide stage, including its resilience outcome. */
 struct FleetStageReport {
+    int stage = 0;
     std::vector<FleetNodeReport> nodes;
-    int64_t pooled_uploads = 0;   ///< valuable images across the fleet
+    int64_t pooled_uploads = 0;   ///< images that reached the cloud
+    int64_t straggler_backlog = 0;///< fleet-wide images still queued
+    int64_t retransmits = 0;      ///< uplink attempts repeated so far
+    int64_t corrupted = 0;        ///< checksum mismatches so far
+    int64_t crashed_nodes = 0;    ///< reboots this stage
+    bool update_ran = false;      ///< cloud saw >= 1 image this stage
+    bool poisoned = false;        ///< this stage's labels were poisoned
+    bool rolled_back = false;     ///< validation gate rejected the update
+    double holdout_before = 0;    ///< gate accuracy pre-update
+    double holdout_after = 0;     ///< gate accuracy of what deployed
+    double holdout_trained = 0;   ///< raw accuracy of the trained
+                                  ///< weights (even when rejected)
     double mean_accuracy_after = 0;
 };
 
@@ -60,33 +109,49 @@ class FleetSim {
      * Bootstrap: every node contributes @p images_per_node initial
      * images (under its own conditions); the cloud pre-trains,
      * transfers and trains on the pooled set, then deploys
-     * fleet-wide.
+     * fleet-wide (and checkpoints every node).
      * @return mean node accuracy on the pooled bootstrap data.
      */
     double bootstrap(int64_t images_per_node, double base_severity);
 
     /**
-     * One incremental stage: each node acquires @p images_per_node
-     * new images at @p base_severity (plus its offset), flags and
-     * uploads the valuable subset; the cloud updates once on the
-     * pooled uploads and redeploys.
+     * One incremental stage: each surviving node acquires
+     * @p images_per_node new images at @p base_severity (plus its
+     * offset), flags the valuable subset and ships it through its
+     * uplink; the cloud runs one validation-gated update on whatever
+     * was delivered and redeploys. Crashed nodes reboot from their
+     * checkpoint and skip the stage's acquisition.
      */
     FleetStageReport run_stage(int64_t images_per_node,
                                double base_severity);
 
     ModelUpdateService& cloud() { return cloud_; }
     InsituNode& node(size_t i);
+    UplinkQueue& uplink(size_t i);
+    const FaultInjector& injector() const { return injector_; }
+
+    /** Stages run so far (the stage index of the next run_stage). */
+    int stage_index() const { return stage_index_; }
 
   private:
     /** Node-local condition for a stage. */
     Condition node_condition(size_t node,
                              double base_severity) const;
 
+    /** Deploy the cloud models fleet-wide and refresh checkpoints. */
     void deploy_all();
 
     FleetConfig config_;
     ModelUpdateService cloud_;
+    FaultInjector injector_;
     std::vector<InsituNode> nodes_;
+    std::vector<UplinkQueue> uplinks_;
+    /// Flagged images queued on each node, FIFO, row-aligned with the
+    /// node's UplinkQueue payloads. Lost wholesale on a crash.
+    std::vector<Dataset> pending_uploads_;
+    std::vector<NodeCheckpoint> checkpoints_;
+    int stage_index_ = 0;
+    double clock_s_ = 0;
     Rng rng_;
 };
 

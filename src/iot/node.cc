@@ -1,5 +1,8 @@
 #include "iot/node.h"
 
+#include <sstream>
+
+#include "nn/serialize.h"
 #include "util/logging.h"
 
 namespace insitu {
@@ -56,6 +59,39 @@ InsituNode::deploy_diagnosis(const JigsawNetwork& cloud_jigsaw)
     copy_parameters(diagnosis_.network().trunk(),
                     cloud_jigsaw.trunk());
     copy_parameters(diagnosis_.network().head(), cloud_jigsaw.head());
+}
+
+NodeCheckpoint
+InsituNode::checkpoint() const
+{
+    auto blob = [](const Network& net) {
+        std::ostringstream os;
+        save_weights(net, os);
+        return os.str();
+    };
+    NodeCheckpoint ckpt;
+    ckpt.inference_blob = blob(inference_.network());
+    ckpt.trunk_blob = blob(diagnosis_.network().trunk());
+    ckpt.head_blob = blob(diagnosis_.network().head());
+    return ckpt;
+}
+
+bool
+InsituNode::restore(const NodeCheckpoint& ckpt)
+{
+    if (ckpt.empty()) return false;
+    auto load = [](Network& net, const std::string& blob) {
+        std::istringstream is(blob);
+        return load_weights(net, is);
+    };
+    // The trunk's shared conv prefix aliases the inference storage;
+    // loading inference last leaves the shared tensors at the
+    // inference values, matching deploy_diagnosis-then-
+    // deploy_inference order.
+    bool ok = load(diagnosis_.network().trunk(), ckpt.trunk_blob);
+    ok = load(diagnosis_.network().head(), ckpt.head_blob) && ok;
+    ok = load(inference_.network(), ckpt.inference_blob) && ok;
+    return ok;
 }
 
 NodeStageReport

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "iot/tasks.h"
 #include "models/tiny.h"
@@ -17,6 +18,20 @@
 namespace insitu {
 
 class ModelUpdateService;
+
+/**
+ * Serialized snapshot of everything a node must survive a reboot
+ * with: the deployed inference weights and the diagnosis trunk+head.
+ * In-flight state (flagged images awaiting upload) is deliberately
+ * NOT part of the checkpoint — a crash loses it, the model survives.
+ */
+struct NodeCheckpoint {
+    std::string inference_blob;
+    std::string trunk_blob;
+    std::string head_blob;
+
+    bool empty() const { return inference_blob.empty(); }
+};
 
 /** What the node did with one stage of acquired data. */
 struct NodeStageReport {
@@ -48,6 +63,19 @@ class InsituNode {
 
     /** Predict + diagnose one stage of data. */
     NodeStageReport process_stage(const Dataset& stage);
+
+    /**
+     * Snapshot the deployed models to persistent storage (nn/serialize
+     * format), so a crashed node can reboot into its last deployment.
+     */
+    NodeCheckpoint checkpoint() const;
+
+    /**
+     * Reboot path: load the models back from @p ckpt.
+     * @return false (leaving the node unchanged where possible) on a
+     *         malformed or incompatible checkpoint.
+     */
+    bool restore(const NodeCheckpoint& ckpt);
 
     /** Conv layers shared between the two on-node networks. */
     size_t shared_convs() const { return shared_convs_; }

@@ -79,6 +79,7 @@ class DiagnosisTask {
                                        const Dataset& data);
 
     JigsawNetwork& network() { return net_; }
+    const JigsawNetwork& network() const { return net_; }
     const PermutationSet& permutations() const { return perms_; }
     const DiagnosisConfig& config() const { return config_; }
 

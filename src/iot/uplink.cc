@@ -2,25 +2,64 @@
 
 #include <algorithm>
 
+#include "faults/fault_injector.h"
 #include "util/logging.h"
 
 namespace insitu {
 
-UplinkQueue::UplinkQueue(LinkSpec link, double bytes_per_payload)
-    : link_(std::move(link)), payload_bytes_(bytes_per_payload)
+UplinkQueue::UplinkQueue(LinkSpec link, double bytes_per_payload,
+                         UplinkConfig config)
+    : link_(std::move(link)), payload_bytes_(bytes_per_payload),
+      config_(config)
 {
     INSITU_CHECK(payload_bytes_ > 0, "payload must be positive");
     INSITU_CHECK(link_.bandwidth_bps > 0, "link needs bandwidth");
+    INSITU_CHECK(config_.max_backlog_images > 0,
+                 "backlog bound must be positive");
+    INSITU_CHECK(config_.backoff_base_s > 0 &&
+                     config_.backoff_max_s >= config_.backoff_base_s,
+                 "backoff must be positive and ordered");
 }
 
-void
+uint64_t
+UplinkQueue::payload_checksum(uint64_t seq, double bytes)
+{
+    // FNV-1a over the identifying fields; stands in for a CRC over
+    // the image bytes the simulator does not materialize per payload.
+    uint64_t h = 0xCBF29CE484222325ULL;
+    auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xFF;
+            h *= 0x100000001B3ULL;
+        }
+    };
+    mix(seq);
+    mix(static_cast<uint64_t>(bytes));
+    return h;
+}
+
+int64_t
 UplinkQueue::enqueue(int64_t images, double now_s)
 {
     INSITU_CHECK(images >= 0, "negative enqueue");
-    for (int64_t i = 0; i < images; ++i) pending_.push_back(now_s);
+    int64_t evicted = 0;
+    for (int64_t i = 0; i < images; ++i) {
+        if (static_cast<int64_t>(pending_.size()) >=
+            config_.max_backlog_images) {
+            pending_.pop_front(); // drop-oldest: fresh data wins
+            ++evicted;
+        }
+        Payload p;
+        p.enqueued_s = now_s;
+        p.seq = next_seq_++;
+        p.checksum = payload_checksum(p.seq, payload_bytes_);
+        pending_.push_back(p);
+    }
     stats_.enqueued += images;
+    stats_.dropped += evicted;
     stats_.max_backlog =
         std::max(stats_.max_backlog, backlog_bytes());
+    return evicted;
 }
 
 double
@@ -30,21 +69,64 @@ UplinkQueue::backlog_bytes() const
 }
 
 int64_t
+UplinkQueue::clear()
+{
+    const int64_t n = backlog();
+    pending_.clear();
+    return n;
+}
+
+int64_t
 UplinkQueue::drain_window(double from_s, double to_s)
 {
     INSITU_CHECK(to_s >= from_s, "window must be ordered");
     const double per_payload_s =
         payload_bytes_ * 8.0 / link_.bandwidth_bps;
     double clock = from_s;
+    double backoff = config_.backoff_base_s;
     int64_t delivered = 0;
-    while (!pending_.empty() && clock + per_payload_s <= to_s) {
-        const double enqueued_at = pending_.front();
-        pending_.pop_front();
+    while (!pending_.empty()) {
+        // Outages delay; they never lose a queued payload.
+        if (injector_ && injector_->link_down(clock)) {
+            const double up = injector_->outage_end(clock);
+            stats_.outage_wait_s += std::min(up, to_s) - clock;
+            clock = up;
+        }
+        if (clock + per_payload_s > to_s) break;
+
+        const Payload& front = pending_.front();
         clock += per_payload_s;
-        ++delivered;
-        stats_.total_delay_s += clock - enqueued_at;
-        stats_.bytes_sent += payload_bytes_;
         stats_.energy_j += link_.transfer_energy(payload_bytes_);
+
+        // Transmission attempt: the payload may vanish (no ack) or
+        // arrive bit-flipped; the receiver recomputes the checksum
+        // over what it got and NACKs on mismatch.
+        bool acked = true;
+        if (injector_ && injector_->drop_payload()) {
+            acked = false;
+            ++stats_.lost_in_flight;
+        } else if (injector_ && injector_->corrupt_payload()) {
+            const uint64_t wire =
+                front.checksum ^ 0x8000000000000001ULL;
+            if (wire != payload_checksum(front.seq, payload_bytes_)) {
+                acked = false;
+                ++stats_.corrupted;
+            }
+        }
+
+        if (acked) {
+            stats_.total_delay_s += clock - front.enqueued_s;
+            stats_.bytes_sent += payload_bytes_;
+            ++delivered;
+            pending_.pop_front();
+            backoff = config_.backoff_base_s;
+        } else {
+            // Exponential backoff before the retransmit; the payload
+            // stays at the head of the queue.
+            ++stats_.retransmits;
+            clock += backoff;
+            backoff = std::min(backoff * 2.0, config_.backoff_max_s);
+        }
     }
     stats_.delivered += delivered;
     return delivered;

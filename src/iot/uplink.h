@@ -7,6 +7,13 @@
  * backlog, per-image queueing delay and radio energy of a
  * bandwidth-limited, duty-cycled uplink, so system studies can answer
  * "how stale is the training data when it reaches the cloud?".
+ *
+ * The uplink is resilient, not merely lossy: every payload carries a
+ * checksum, the receiver NACKs corrupted payloads, lost or corrupted
+ * transmissions retransmit with exponential backoff, and outage
+ * windows (from an attached FaultInjector) delay but never lose data.
+ * The only way a payload dies is the bounded backlog's drop-oldest
+ * eviction — and that is counted in UplinkStats.
  */
 #pragma once
 
@@ -17,14 +24,33 @@
 
 namespace insitu {
 
+class FaultInjector;
+
+/** Reliability/bounding knobs of one uplink. */
+struct UplinkConfig {
+    /// Hard backlog cap; enqueueing beyond it evicts the *oldest*
+    /// payload (freshest-data-wins, matching the paper's preference
+    /// for current-environment samples).
+    int64_t max_backlog_images = 4096;
+    /// Wait before the first retransmit of a failed payload.
+    double backoff_base_s = 0.5;
+    /// Ceiling of the exponential backoff.
+    double backoff_max_s = 30.0;
+};
+
 /** Aggregate statistics of a simulated uplink. */
 struct UplinkStats {
     int64_t enqueued = 0;       ///< images handed to the radio
     int64_t delivered = 0;      ///< images fully transmitted
-    double bytes_sent = 0;      ///< payload delivered
-    double energy_j = 0;        ///< radio energy spent
+    double bytes_sent = 0;      ///< payload delivered (goodput)
+    double energy_j = 0;        ///< radio energy spent (all attempts)
     double max_backlog = 0;     ///< peak queued bytes
     double total_delay_s = 0;   ///< summed queueing+transmit delay
+    int64_t dropped = 0;        ///< evicted by the bounded backlog
+    int64_t corrupted = 0;      ///< checksum mismatches detected
+    int64_t lost_in_flight = 0; ///< transmissions that got no ack
+    int64_t retransmits = 0;    ///< extra attempts after a failure
+    double outage_wait_s = 0;   ///< time spent waiting out outages
 
     /** Mean seconds an image waited from enqueue to delivery. */
     double
@@ -37,25 +63,47 @@ struct UplinkStats {
 };
 
 /**
- * A FIFO uplink with finite bandwidth and optional duty cycling
- * (e.g. transmit only during the night window).
+ * A FIFO uplink with finite bandwidth, optional duty cycling
+ * (e.g. transmit only during the night window), a bounded backlog
+ * and checksum-verified retransmission.
  */
 class UplinkQueue {
   public:
     /**
      * @param link radio characteristics.
      * @param bytes_per_payload size of one queued image.
+     * @param config reliability/bounding knobs.
      */
-    UplinkQueue(LinkSpec link, double bytes_per_payload);
+    UplinkQueue(LinkSpec link, double bytes_per_payload,
+                UplinkConfig config = {});
 
-    /** Queue @p images at simulation time @p now_s. */
-    void enqueue(int64_t images, double now_s);
+    /**
+     * Attach (or detach, with nullptr) a fault injector. Not owned;
+     * must outlive the queue. Without one the link is perfect and
+     * only the backlog bound applies.
+     */
+    void set_fault_injector(FaultInjector* injector)
+    {
+        injector_ = injector;
+    }
+
+    /**
+     * Queue @p images at simulation time @p now_s.
+     * @return payloads evicted (oldest first) to respect the bound.
+     */
+    int64_t enqueue(int64_t images, double now_s);
 
     /**
      * Let the radio transmit during the window
      * [@p from_s, @p to_s). Returns images delivered in the window.
+     * Failed attempts (loss, corruption) retransmit after an
+     * exponential backoff; payloads that do not fit the window stay
+     * queued for the next one.
      */
     int64_t drain_window(double from_s, double to_s);
+
+    /** Drop every queued payload (e.g. the node lost power). */
+    int64_t clear();
 
     /** Images still waiting. */
     int64_t backlog() const
@@ -67,12 +115,29 @@ class UplinkQueue {
     double backlog_bytes() const;
 
     const UplinkStats& stats() const { return stats_; }
+    const UplinkConfig& config() const { return config_; }
+
+    /**
+     * Checksum a payload would carry on the wire (FNV-1a over its
+     * sequence number and size). Exposed for tests.
+     */
+    static uint64_t payload_checksum(uint64_t seq, double bytes);
 
   private:
+    /** One queued image awaiting (re)transmission. */
+    struct Payload {
+        double enqueued_s = 0;
+        uint64_t seq = 0;
+        uint64_t checksum = 0;
+    };
+
     LinkSpec link_;
     double payload_bytes_;
-    std::deque<double> pending_; ///< enqueue timestamps, FIFO
+    UplinkConfig config_;
+    std::deque<Payload> pending_; ///< FIFO
     UplinkStats stats_;
+    FaultInjector* injector_ = nullptr; ///< not owned
+    uint64_t next_seq_ = 0;
 };
 
 } // namespace insitu
