@@ -4,6 +4,13 @@
  * GEMM, im2col, conv forward/backward, jigsaw batching and synthetic
  * rendering. These track the performance of the library itself (not
  * a paper figure).
+ *
+ * The `*Threads` benchmarks sweep the execution width of the
+ * deterministic thread pool (second Arg = threads; 1 is the serial
+ * baseline). Outputs are bit-identical across the sweep by
+ * construction — `tests/test_parallel.cc` asserts it — so the sweep
+ * measures pure scheduling/throughput, not numerical drift. See
+ * docs/performance.md for the methodology.
  */
 #include <benchmark/benchmark.h>
 
@@ -16,6 +23,7 @@
 #include "selfsup/jigsaw.h"
 #include "selfsup/relative.h"
 #include "tensor/ops.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace insitu {
@@ -165,6 +173,93 @@ BM_RenderImage(benchmark::State& state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RenderImage);
+
+// --- serial vs threaded -------------------------------------------
+// Args: {problem size, threads}. threads=1 is the serial baseline;
+// speedup at k threads = time(threads=1) / time(threads=k).
+
+void
+BM_MatmulThreads(benchmark::State& state)
+{
+    const int64_t n = state.range(0);
+    set_num_threads(static_cast<int>(state.range(1)));
+    Rng rng(1);
+    Tensor a({n, n}), b({n, n});
+    a.fill_uniform(rng, -1.0f, 1.0f);
+    b.fill_uniform(rng, -1.0f, 1.0f);
+    for (auto _ : state) {
+        Tensor c = matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+    set_num_threads(0);
+}
+BENCHMARK(BM_MatmulThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4});
+
+void
+BM_ConvForwardThreads(benchmark::State& state)
+{
+    const int64_t batch = 32;
+    set_num_threads(static_cast<int>(state.range(0)));
+    Rng rng(3);
+    Conv2d conv("c", 16, 32, 3, 1, 1, rng);
+    Tensor x({batch, 16, 12, 12});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    for (auto _ : state) {
+        Tensor y = conv.forward(x, false);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+    set_num_threads(0);
+}
+BENCHMARK(BM_ConvForwardThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_ConvBackwardThreads(benchmark::State& state)
+{
+    const int64_t batch = 32;
+    set_num_threads(static_cast<int>(state.range(0)));
+    Rng rng(3);
+    Conv2d conv("c", 16, 32, 3, 1, 1, rng);
+    Tensor x({batch, 16, 12, 12});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    Tensor y = conv.forward(x, true);
+    Tensor gy(y.shape());
+    gy.fill_uniform(rng, -1.0f, 1.0f);
+    for (auto _ : state) {
+        conv.params()[0]->grad().fill(0.0f);
+        conv.params()[1]->grad().fill(0.0f);
+        Tensor gx = conv.backward(gy);
+        benchmark::DoNotOptimize(gx.data());
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+    set_num_threads(0);
+}
+BENCHMARK(BM_ConvBackwardThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_TrainStepThreads(benchmark::State& state)
+{
+    set_num_threads(static_cast<int>(state.range(0)));
+    Rng rng(4);
+    TinyConfig config;
+    Network net = make_tiny_inference(config, rng);
+    Sgd opt({.lr = 0.01, .momentum = 0.9});
+    Tensor x({32, 3, 24, 24});
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    std::vector<int64_t> y(32);
+    for (size_t i = 0; i < y.size(); ++i)
+        y[i] = static_cast<int64_t>(i % 10);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(train_batch(net, opt, x, y));
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+    set_num_threads(0);
+}
+BENCHMARK(BM_TrainStepThreads)->Arg(1)->Arg(2)->Arg(4);
 
 } // namespace
 } // namespace insitu

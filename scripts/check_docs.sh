@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Docs hygiene checker, run as a ctest (`check_docs`).
+#
+# 1. Every intra-repo markdown link in the top-level docs, docs/ and
+#    results/ must resolve to an existing file.
+# 2. Every bench binary (bench/bench_*.cc) must be documented in
+#    docs/performance.md.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+fail=0
+
+note() { printf '%s\n' "$*" >&2; }
+
+# --- 1. intra-repo link targets exist ------------------------------
+docs=()
+for f in "$root"/*.md "$root"/docs/*.md "$root"/results/*.md; do
+    [ -f "$f" ] || continue
+    # SNIPPETS.md quotes markdown from external repos verbatim; its
+    # links point into those repos, not this one.
+    [ "$(basename "$f")" = SNIPPETS.md ] && continue
+    docs+=("$f")
+done
+
+checked=0
+for doc in "${docs[@]}"; do
+    dir="$(dirname "$doc")"
+    # Pull the (...) target of every markdown link. One link per line;
+    # tolerates several links on a source line.
+    while IFS= read -r target; do
+        [ -n "$target" ] || continue
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path="${target%%#*}"       # strip fragment
+        [ -n "$path" ] || continue
+        case "$path" in
+            /*) resolved="$root$path" ;;
+            *)  resolved="$dir/$path" ;;
+        esac
+        checked=$((checked + 1))
+        if [ ! -e "$resolved" ]; then
+            note "broken link in ${doc#"$root"/}: ($target)"
+            fail=1
+        fi
+    done < <(grep -o ']([^)]*)' "$doc" | sed 's/^](//; s/)$//')
+done
+
+# --- 2. every bench binary appears in docs/performance.md ----------
+perf="$root/docs/performance.md"
+if [ ! -f "$perf" ]; then
+    note "missing docs/performance.md"
+    fail=1
+else
+    for src in "$root"/bench/bench_*.cc; do
+        name="$(basename "$src" .cc)"
+        if ! grep -q "$name" "$perf"; then
+            note "bench binary $name not mentioned in docs/performance.md"
+            fail=1
+        fi
+    done
+fi
+
+if [ "$fail" -ne 0 ]; then
+    note "check_docs: FAILED"
+    exit 1
+fi
+note "check_docs: OK ($checked links, all bench binaries documented)"

@@ -4,6 +4,7 @@
 
 #include "nn/trainer.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace insitu {
 
@@ -68,13 +69,15 @@ FleetSim::deploy_all()
 double
 FleetSim::bootstrap(int64_t images_per_node, double base_severity)
 {
-    std::vector<Dataset> parts;
-    parts.reserve(nodes_.size());
-    for (size_t i = 0; i < nodes_.size(); ++i) {
-        parts.push_back(make_dataset(config_.synth, images_per_node,
-                                     node_condition(i, base_severity),
-                                     rng_));
-    }
+    // Acquisition draws from the shared replay-ordered rng_, so it
+    // stays serial (node-ascending) — the draw sequence is part of
+    // the replay contract and must not depend on scheduling.
+    const int64_t n = static_cast<int64_t>(nodes_.size());
+    std::vector<Dataset> parts(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i)
+        parts[i] = make_dataset(config_.synth, images_per_node,
+                                node_condition(i, base_severity),
+                                rng_);
     std::vector<const Dataset*> ptrs;
     for (const auto& p : parts) ptrs.push_back(&p);
     const Dataset pooled = concat_datasets(ptrs);
@@ -88,9 +91,15 @@ FleetSim::bootstrap(int64_t images_per_node, double base_severity)
     cloud_.update(pooled, policy);
     deploy_all();
 
+    std::vector<double> node_acc(nodes_.size(), 0.0);
+    parallel_for(0, n, 1, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            node_acc[static_cast<size_t>(i)] =
+                nodes_[static_cast<size_t>(i)].inference().accuracy(
+                    pooled);
+    });
     double acc = 0.0;
-    for (auto& node : nodes_)
-        acc += node.inference().accuracy(pooled);
+    for (double a : node_acc) acc += a; // ordered reduction
     acc /= static_cast<double>(nodes_.size());
     // Seed the registry so the first validated update has a
     // last-good version to fall back to.
@@ -111,22 +120,42 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
     // radios. Crashed nodes reboot instead: the uplink backlog and
     // the node-side pending buffer are lost, the model comes back
     // from the checkpoint.
-    std::vector<Dataset> stage_data(nodes_.size());
-    for (size_t i = 0; i < nodes_.size(); ++i) {
-        FleetNodeReport nr;
+    //
+    // The replay-ordered shared state is touched first, serially in
+    // node order: crash decisions (the injector's fault log) and
+    // acquisition (renders draw from the shared rng_, so the draw
+    // sequence must not depend on scheduling). Everything after that
+    // is node-local — diagnosis draws from the node's own RNG, and
+    // each node touches only its own uplink/buffers/report slot — so
+    // the per-node stepping runs in parallel and stays bit-identical
+    // at any thread count.
+    const size_t nnodes = nodes_.size();
+    std::vector<Dataset> stage_data(nnodes);
+    std::vector<char> crashed(nnodes, 0);
+    for (size_t i = 0; i < nnodes; ++i) {
+        crashed[i] = injector_.node_crashes(stage_index_,
+                                            static_cast<int>(i))
+                         ? 1
+                         : 0;
+        if (!crashed[i])
+            stage_data[i] =
+                make_dataset(config_.synth, images_per_node,
+                             node_condition(i, base_severity), rng_);
+    }
+    report.nodes.assign(nnodes, FleetNodeReport{});
+    parallel_for(0, static_cast<int64_t>(nnodes), 1,
+                 [&](int64_t n0, int64_t n1) {
+    for (int64_t ni = n0; ni < n1; ++ni) {
+        const size_t i = static_cast<size_t>(ni);
+        FleetNodeReport& nr = report.nodes[i];
         nr.node = static_cast<int>(i);
-        if (injector_.node_crashes(stage_index_,
-                                   static_cast<int>(i))) {
+        if (crashed[i]) {
             nr.crashed = true;
-            ++report.crashed_nodes;
             nr.lost_in_crash = uplinks_[i].clear();
             pending_uploads_[i] = Dataset{};
             INSITU_CHECK(nodes_[i].restore(checkpoints_[i]),
                          "node reboot failed to restore checkpoint");
         } else {
-            stage_data[i] =
-                make_dataset(config_.synth, images_per_node,
-                             node_condition(i, base_severity), rng_);
             const Dataset& data = stage_data[i];
             const NodeStageReport node_report =
                 nodes_[i].process_stage(data);
@@ -160,12 +189,16 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
                     pending_uploads_[i].size());
             }
         }
-        report.nodes.push_back(nr);
     }
+    });
+    for (const auto& nr : report.nodes)
+        if (nr.crashed) ++report.crashed_nodes;
 
     // Phase 2: radios drain inside the stage window. What does not
     // make it (outage, backoff, window end) stays queued — those
     // stragglers deliver in a later stage, stale but not lost.
+    // Deliberately serial: every drain consumes loss/corruption draws
+    // from the injector's single replay-ordered RNG stream.
     std::vector<Dataset> delivered_parts(nodes_.size());
     for (size_t i = 0; i < nodes_.size(); ++i) {
         FleetNodeReport& nr = report.nodes[i];
@@ -230,11 +263,19 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
 
     // Phase 4: post-deployment accuracy. Crashed nodes acquired
     // nothing this stage; the mean covers the nodes that did.
+    // Node-parallel evaluation, ordered (node-ascending) mean.
+    parallel_for(0, static_cast<int64_t>(nnodes), 1,
+                 [&](int64_t n0, int64_t n1) {
+        for (int64_t ni = n0; ni < n1; ++ni) {
+            const size_t i = static_cast<size_t>(ni);
+            if (report.nodes[i].crashed) continue;
+            report.nodes[i].accuracy_after =
+                nodes_[i].inference().accuracy(stage_data[i]);
+        }
+    });
     int64_t measured = 0;
-    for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (size_t i = 0; i < nnodes; ++i) {
         if (report.nodes[i].crashed) continue;
-        report.nodes[i].accuracy_after =
-            nodes_[i].inference().accuracy(stage_data[i]);
         report.mean_accuracy_after += report.nodes[i].accuracy_after;
         ++measured;
     }

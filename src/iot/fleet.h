@@ -18,6 +18,15 @@
  * (stragglers' backlogs drain in later stages), and every incremental
  * update passes a holdout-accuracy gate that rolls a regressed model
  * back to the last good registry version before it can deploy.
+ *
+ * Per-node stepping (diagnosis, enqueue, post-deploy evaluation)
+ * runs node-parallel on the deterministic thread pool
+ * (`util/parallel.h`): inside the parallel region each node draws
+ * only from its own RNG and touches only its own state. Everything
+ * that consumes a replay-ordered shared stream — acquisition renders
+ * from the fleet rng_, crash decisions and uplink drains against the
+ * FaultInjector, the cloud update — stays serial, in node order. A
+ * chaos run therefore replays bit-identically at any thread count.
  */
 #pragma once
 

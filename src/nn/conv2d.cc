@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace insitu {
@@ -63,17 +64,22 @@ Conv2d::forward(const Tensor& input, bool /*training*/)
         {out_channels_, in_channels_ * kernel_ * kernel_});
     Tensor output({batch, out_channels_, oh, ow});
     const float* pb = bias_->value().data();
-    for (int64_t b = 0; b < batch; ++b) {
-        const Tensor cols = im2col(input, b, g);   // Dm: (NK^2, R*C)
-        const Tensor om = matmul(fm, cols);        // Om: (M, R*C)
-        float* dst = output.data() + b * out_channels_ * oh * ow;
-        const float* src = om.data();
-        for (int64_t m = 0; m < out_channels_; ++m) {
-            const float bias = pb[m];
-            for (int64_t i = 0; i < oh * ow; ++i)
-                dst[m * oh * ow + i] = src[m * oh * ow + i] + bias;
+    // Batch-parallel: every image owns its output slice, so the
+    // lowering + GEMM + bias of different images are independent (the
+    // nested matmul runs inline inside a pool worker).
+    parallel_for(0, batch, 1, [&](int64_t b0, int64_t b1) {
+        for (int64_t b = b0; b < b1; ++b) {
+            const Tensor cols = im2col(input, b, g); // Dm: (NK^2, R*C)
+            const Tensor om = matmul(fm, cols);      // Om: (M, R*C)
+            float* dst = output.data() + b * out_channels_ * oh * ow;
+            const float* src = om.data();
+            for (int64_t m = 0; m < out_channels_; ++m) {
+                const float bias = pb[m];
+                for (int64_t i = 0; i < oh * ow; ++i)
+                    dst[m * oh * ow + i] = src[m * oh * ow + i] + bias;
+            }
         }
-    }
+    });
     return output;
 }
 
@@ -98,28 +104,43 @@ Conv2d::backward(const Tensor& grad_output)
     Tensor grad_fm({out_channels_, in_channels_ * kernel_ * kernel_});
     float* gb = bias_->grad().data();
 
-    for (int64_t b = 0; b < batch; ++b) {
-        // Per-image gradient of the output matrix Om: (M, R*C).
-        Tensor gom({out_channels_, oh * ow});
-        const float* src =
-            grad_output.data() + b * out_channels_ * oh * ow;
-        std::copy(src, src + out_channels_ * oh * ow, gom.data());
+    // Batch-parallel with ordered reduction: each image writes its
+    // grad_input slice directly (disjoint) and its weight/bias
+    // contributions into a per-image partial; the partials are then
+    // combined serially in batch order — the same summation order as
+    // a serial loop, so results are bit-identical at any thread count.
+    std::vector<Tensor> gfm_part(static_cast<size_t>(batch));
+    Tensor gbias_part({batch, out_channels_});
+    parallel_for(0, batch, 1, [&](int64_t b0, int64_t b1) {
+        for (int64_t b = b0; b < b1; ++b) {
+            // Per-image gradient of the output matrix Om: (M, R*C).
+            Tensor gom({out_channels_, oh * ow});
+            const float* src =
+                grad_output.data() + b * out_channels_ * oh * ow;
+            std::copy(src, src + out_channels_ * oh * ow, gom.data());
 
-        // dL/dFm += dL/dOm * Dm^T.
-        const Tensor cols = im2col(cached_input_, b, g);
-        grad_fm += matmul_tb(gom, cols);
+            // dL/dFm contribution: dL/dOm * Dm^T.
+            const Tensor cols = im2col(cached_input_, b, g);
+            gfm_part[static_cast<size_t>(b)] = matmul_tb(gom, cols);
 
-        // dL/dDm = Fm^T * dL/dOm, scattered back with col2im.
-        const Tensor gcols = matmul_ta(fm, gom);
-        col2im_accumulate(gcols, grad_input, b, g);
+            // dL/dDm = Fm^T * dL/dOm, scattered back with col2im.
+            const Tensor gcols = matmul_ta(fm, gom);
+            col2im_accumulate(gcols, grad_input, b, g);
 
-        // dL/dbias: sum over spatial positions.
-        for (int64_t m = 0; m < out_channels_; ++m) {
-            float acc = 0.0f;
-            const float* row = gom.data() + m * oh * ow;
-            for (int64_t i = 0; i < oh * ow; ++i) acc += row[i];
-            gb[m] += acc;
+            // dL/dbias contribution: sum over spatial positions.
+            float* brow = gbias_part.data() + b * out_channels_;
+            for (int64_t m = 0; m < out_channels_; ++m) {
+                float acc = 0.0f;
+                const float* row = gom.data() + m * oh * ow;
+                for (int64_t i = 0; i < oh * ow; ++i) acc += row[i];
+                brow[m] = acc;
+            }
         }
+    });
+    for (int64_t b = 0; b < batch; ++b) {
+        grad_fm += gfm_part[static_cast<size_t>(b)];
+        const float* brow = gbias_part.data() + b * out_channels_;
+        for (int64_t m = 0; m < out_channels_; ++m) gb[m] += brow[m];
     }
     weight_->grad() += grad_fm.reshape(
         {out_channels_, in_channels_, kernel_, kernel_});

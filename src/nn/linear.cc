@@ -5,6 +5,7 @@
 
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace insitu {
@@ -38,9 +39,12 @@ Linear::forward(const Tensor& input, bool /*training*/)
     const float* pb = bias_->value().data();
     const int64_t batch = out.dim(0);
     float* po = out.data();
-    for (int64_t b = 0; b < batch; ++b)
-        for (int64_t j = 0; j < out_features_; ++j)
-            po[b * out_features_ + j] += pb[j];
+    // Batch-parallel bias add: disjoint rows.
+    parallel_for(0, batch, 64, [&](int64_t b0, int64_t b1) {
+        for (int64_t b = b0; b < b1; ++b)
+            for (int64_t j = 0; j < out_features_; ++j)
+                po[b * out_features_ + j] += pb[j];
+    });
     return out;
 }
 
@@ -55,13 +59,17 @@ Linear::backward(const Tensor& grad_output)
                  "linear grad_output shape mismatch");
     // dW = gY^T * X, stored (out, in).
     weight_->grad() += matmul_ta(grad_output, cached_input_);
-    // db = column sums of gY.
+    // db = column sums of gY. Column-parallel: each chunk owns a block
+    // of columns and sums them over the batch in ascending order — the
+    // same per-element order as a serial loop.
     float* gb = bias_->grad().data();
     const int64_t batch = grad_output.dim(0);
     const float* gy = grad_output.data();
-    for (int64_t b = 0; b < batch; ++b)
-        for (int64_t j = 0; j < out_features_; ++j)
-            gb[j] += gy[b * out_features_ + j];
+    parallel_for(0, out_features_, 64, [&](int64_t j0, int64_t j1) {
+        for (int64_t j = j0; j < j1; ++j)
+            for (int64_t b = 0; b < batch; ++b)
+                gb[j] += gy[b * out_features_ + j];
+    });
     // dX = gY * W.
     return matmul(grad_output, weight_->value());
 }

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace insitu {
 
@@ -31,24 +32,28 @@ LocalResponseNorm::forward(const Tensor& input, bool /*training*/)
     float* y = out.data();
     const int64_t half = size_ / 2;
     const double coeff = alpha_ / static_cast<double>(size_);
-    for (int64_t n = 0; n < b; ++n) {
-        for (int64_t i = 0; i < c; ++i) {
-            const int64_t lo = std::max<int64_t>(0, i - half);
-            const int64_t hi = std::min<int64_t>(c - 1, i + half);
-            for (int64_t p = 0; p < hw; ++p) {
-                double sum = 0.0;
-                for (int64_t j = lo; j <= hi; ++j) {
-                    const double v = x[(n * c + j) * hw + p];
-                    sum += v * v;
+    // Batch-parallel: every image's normalization window stays within
+    // its own channel stack, so images are independent.
+    parallel_for(0, b, 1, [&](int64_t n0, int64_t n1) {
+        for (int64_t n = n0; n < n1; ++n) {
+            for (int64_t i = 0; i < c; ++i) {
+                const int64_t lo = std::max<int64_t>(0, i - half);
+                const int64_t hi = std::min<int64_t>(c - 1, i + half);
+                for (int64_t p = 0; p < hw; ++p) {
+                    double sum = 0.0;
+                    for (int64_t j = lo; j <= hi; ++j) {
+                        const double v = x[(n * c + j) * hw + p];
+                        sum += v * v;
+                    }
+                    const int64_t idx = (n * c + i) * hw + p;
+                    const double scale = k_ + coeff * sum;
+                    s[idx] = static_cast<float>(scale);
+                    y[idx] = static_cast<float>(
+                        x[idx] * std::pow(scale, -beta_));
                 }
-                const int64_t idx = (n * c + i) * hw + p;
-                const double scale = k_ + coeff * sum;
-                s[idx] = static_cast<float>(scale);
-                y[idx] = static_cast<float>(
-                    x[idx] * std::pow(scale, -beta_));
             }
         }
-    }
+    });
     return out;
 }
 
@@ -69,27 +74,30 @@ LocalResponseNorm::backward(const Tensor& grad_output)
     const double coeff = alpha_ / static_cast<double>(size_);
     // dx_j = g_j * s_j^-b - 2*coeff*b * x_j *
     //        sum_{i: j in window(i)} g_i * x_i * s_i^{-b-1}
-    for (int64_t n = 0; n < b; ++n) {
-        for (int64_t p = 0; p < hw; ++p) {
-            for (int64_t j = 0; j < c; ++j) {
-                const int64_t jdx = (n * c + j) * hw + p;
-                double acc = g[jdx] * std::pow(
-                                          static_cast<double>(s[jdx]),
+    parallel_for(0, b, 1, [&](int64_t n0, int64_t n1) {
+        for (int64_t n = n0; n < n1; ++n) {
+            for (int64_t p = 0; p < hw; ++p) {
+                for (int64_t j = 0; j < c; ++j) {
+                    const int64_t jdx = (n * c + j) * hw + p;
+                    double acc =
+                        g[jdx] * std::pow(static_cast<double>(s[jdx]),
                                           -beta_);
-                const int64_t lo = std::max<int64_t>(0, j - half);
-                const int64_t hi = std::min<int64_t>(c - 1, j + half);
-                double cross = 0.0;
-                for (int64_t i = lo; i <= hi; ++i) {
-                    const int64_t idx = (n * c + i) * hw + p;
-                    cross += g[idx] * x[idx] *
-                             std::pow(static_cast<double>(s[idx]),
-                                      -beta_ - 1.0);
+                    const int64_t lo = std::max<int64_t>(0, j - half);
+                    const int64_t hi =
+                        std::min<int64_t>(c - 1, j + half);
+                    double cross = 0.0;
+                    for (int64_t i = lo; i <= hi; ++i) {
+                        const int64_t idx = (n * c + i) * hw + p;
+                        cross += g[idx] * x[idx] *
+                                 std::pow(static_cast<double>(s[idx]),
+                                          -beta_ - 1.0);
+                    }
+                    acc -= 2.0 * coeff * beta_ * x[jdx] * cross;
+                    gi[jdx] = static_cast<float>(acc);
                 }
-                acc -= 2.0 * coeff * beta_ * x[jdx] * cross;
-                gi[jdx] = static_cast<float>(acc);
             }
         }
-    }
+    });
     return grad_input;
 }
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace insitu {
 
@@ -45,10 +46,12 @@ MaxPool2d::forward(const Tensor& input, bool /*training*/)
     argmax_.assign(static_cast<size_t>(out.numel()), 0);
     const float* in = input.data();
     float* po = out.data();
-    int64_t oi = 0;
-    for (int64_t b = 0; b < batch; ++b) {
-        for (int64_t c = 0; c < ch; ++c) {
-            const float* plane = in + (b * ch + c) * ih * iw;
+    // Plane-parallel: each (batch, channel) plane owns its output and
+    // argmax slice.
+    parallel_for(0, batch * ch, 1, [&](int64_t p0, int64_t p1) {
+        for (int64_t p = p0; p < p1; ++p) {
+            const float* plane = in + p * ih * iw;
+            int64_t oi = p * oh * ow;
             for (int64_t y = 0; y < oh; ++y) {
                 for (int64_t x = 0; x < ow; ++x, ++oi) {
                     float best = -std::numeric_limits<float>::infinity();
@@ -70,7 +73,7 @@ MaxPool2d::forward(const Tensor& input, bool /*training*/)
                 }
             }
         }
-    }
+    });
     return out;
 }
 
@@ -89,14 +92,14 @@ MaxPool2d::backward(const Tensor& grad_output)
                  "maxpool grad_output shape mismatch");
     const float* go = grad_output.data();
     float* gi = grad_input.data();
-    int64_t oi = 0;
-    for (int64_t b = 0; b < batch; ++b) {
-        for (int64_t c = 0; c < ch; ++c) {
-            float* plane = gi + (b * ch + c) * ih * iw;
+    parallel_for(0, batch * ch, 1, [&](int64_t p0, int64_t p1) {
+        for (int64_t p = p0; p < p1; ++p) {
+            float* plane = gi + p * ih * iw;
+            int64_t oi = p * per_plane_out;
             for (int64_t i = 0; i < per_plane_out; ++i, ++oi)
                 plane[argmax_[static_cast<size_t>(oi)]] += go[oi];
         }
-    }
+    });
     return grad_input;
 }
 
@@ -127,10 +130,10 @@ AvgPool2d::forward(const Tensor& input, bool /*training*/)
     const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
     const float* in = input.data();
     float* po = out.data();
-    int64_t oi = 0;
-    for (int64_t b = 0; b < batch; ++b) {
-        for (int64_t c = 0; c < ch; ++c) {
-            const float* plane = in + (b * ch + c) * ih * iw;
+    parallel_for(0, batch * ch, 1, [&](int64_t p0, int64_t p1) {
+        for (int64_t p = p0; p < p1; ++p) {
+            const float* plane = in + p * ih * iw;
+            int64_t oi = p * oh * ow;
             for (int64_t y = 0; y < oh; ++y) {
                 for (int64_t x = 0; x < ow; ++x, ++oi) {
                     float acc = 0.0f;
@@ -142,7 +145,7 @@ AvgPool2d::forward(const Tensor& input, bool /*training*/)
                 }
             }
         }
-    }
+    });
     return out;
 }
 
@@ -162,10 +165,10 @@ AvgPool2d::backward(const Tensor& grad_output)
     const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
     const float* go = grad_output.data();
     float* gi = grad_input.data();
-    int64_t oi = 0;
-    for (int64_t b = 0; b < batch; ++b) {
-        for (int64_t c = 0; c < ch; ++c) {
-            float* plane = gi + (b * ch + c) * ih * iw;
+    parallel_for(0, batch * ch, 1, [&](int64_t p0, int64_t p1) {
+        for (int64_t p = p0; p < p1; ++p) {
+            float* plane = gi + p * ih * iw;
+            int64_t oi = p * oh * ow;
             for (int64_t y = 0; y < oh; ++y) {
                 for (int64_t x = 0; x < ow; ++x, ++oi) {
                     const float g = go[oi] * inv;
@@ -176,7 +179,7 @@ AvgPool2d::backward(const Tensor& grad_output)
                 }
             }
         }
-    }
+    });
     return grad_input;
 }
 

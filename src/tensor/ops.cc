@@ -1,8 +1,28 @@
 #include "tensor/ops.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace insitu {
+
+namespace {
+
+/**
+ * Rows per parallel chunk for a GEMM whose rows cost @p flops_per_row.
+ * Depends only on the problem shape (never the thread count), so the
+ * decomposition — and with it the result — is deterministic.
+ */
+int64_t
+row_grain(int64_t flops_per_row)
+{
+    constexpr int64_t kFlopsPerChunk = 1 << 16;
+    return std::max<int64_t>(
+        1, kFlopsPerChunk / std::max<int64_t>(1, flops_per_row));
+}
+
+} // namespace
 
 Tensor
 matmul(const Tensor& a, const Tensor& b)
@@ -15,17 +35,21 @@ matmul(const Tensor& a, const Tensor& b)
     const float* pa = a.data();
     const float* pb = b.data();
     float* pc = c.data();
-    // ikj loop order: streams B and C rows, good cache behaviour
-    // without an explicit blocked kernel.
-    for (int64_t i = 0; i < m; ++i) {
-        float* crow = pc + i * n;
-        for (int64_t kk = 0; kk < k; ++kk) {
-            const float av = pa[i * k + kk];
-            if (av == 0.0f) continue;
-            const float* brow = pb + kk * n;
-            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    // Row-parallel ikj loop order: each chunk owns a block of C rows
+    // (disjoint writes), every element accumulates over kk ascending —
+    // bit-identical at any thread count.
+    parallel_for(0, m, row_grain(2 * k * n),
+                 [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            float* crow = pc + i * n;
+            for (int64_t kk = 0; kk < k; ++kk) {
+                const float av = pa[i * k + kk];
+                if (av == 0.0f) continue;
+                const float* brow = pb + kk * n;
+                for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+            }
         }
-    }
+    });
     return c;
 }
 
@@ -40,16 +64,20 @@ matmul_ta(const Tensor& a, const Tensor& b)
     const float* pa = a.data();
     const float* pb = b.data();
     float* pc = c.data();
-    for (int64_t kk = 0; kk < k; ++kk) {
-        const float* arow = pa + kk * m;
-        const float* brow = pb + kk * n;
-        for (int64_t i = 0; i < m; ++i) {
-            const float av = arow[i];
-            if (av == 0.0f) continue;
+    // Row-parallel over C rows; A is walked down its column i (stride
+    // m), B rows stream. Accumulation stays kk ascending per element.
+    parallel_for(0, m, row_grain(2 * k * n),
+                 [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
             float* crow = pc + i * n;
-            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+            for (int64_t kk = 0; kk < k; ++kk) {
+                const float av = pa[kk * m + i];
+                if (av == 0.0f) continue;
+                const float* brow = pb + kk * n;
+                for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+            }
         }
-    }
+    });
     return c;
 }
 
@@ -64,17 +92,20 @@ matmul_tb(const Tensor& a, const Tensor& b)
     const float* pa = a.data();
     const float* pb = b.data();
     float* pc = c.data();
-    for (int64_t i = 0; i < m; ++i) {
-        const float* arow = pa + i * k;
-        float* crow = pc + i * n;
-        for (int64_t j = 0; j < n; ++j) {
-            const float* brow = pb + j * k;
-            float acc = 0.0f;
-            for (int64_t kk = 0; kk < k; ++kk)
-                acc += arow[kk] * brow[kk];
-            crow[j] = acc;
+    parallel_for(0, m, row_grain(2 * k * n),
+                 [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            const float* arow = pa + i * k;
+            float* crow = pc + i * n;
+            for (int64_t j = 0; j < n; ++j) {
+                const float* brow = pb + j * k;
+                float acc = 0.0f;
+                for (int64_t kk = 0; kk < k; ++kk)
+                    acc += arow[kk] * brow[kk];
+                crow[j] = acc;
+            }
         }
-    }
+    });
     return c;
 }
 
@@ -139,8 +170,12 @@ conv2d_direct(const Tensor& input, const Tensor& weight,
     const float* pb = bias.data();
     float* po = out.data();
     // The Fig. 9 loop nest: output maps, input maps, spatial, kernel.
-    for (int64_t b = 0; b < batch; ++b) {
-        for (int64_t f = 0; f < m; ++f) {
+    // Parallel over (batch, filter) output planes — each plane is
+    // written by exactly one chunk, so any thread count is
+    // bit-identical.
+    parallel_for(0, batch * m, 1, [&](int64_t p0, int64_t p1) {
+        for (int64_t p = p0; p < p1; ++p) {
+            const int64_t b = p / m, f = p % m;
             float* plane = po + (b * m + f) * oh * ow;
             for (int64_t i = 0; i < oh * ow; ++i) plane[i] = pb[f];
             for (int64_t c = 0; c < g.in_channels; ++c) {
@@ -169,7 +204,7 @@ conv2d_direct(const Tensor& input, const Tensor& weight,
                 }
             }
         }
-    }
+    });
     return out;
 }
 

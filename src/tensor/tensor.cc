@@ -6,11 +6,16 @@
 #include <sstream>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace insitu {
 
 namespace {
+
+/// Elements per parallel chunk for elementwise loops. Small tensors
+/// fall out as a single chunk and run inline.
+constexpr int64_t kElemGrain = 1 << 15;
 
 int64_t
 shape_numel(const std::vector<int64_t>& shape)
@@ -168,7 +173,11 @@ Tensor&
 Tensor::operator+=(const Tensor& other)
 {
     INSITU_CHECK(same_shape(other), "shape mismatch in +=");
-    for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+    float* dst = data_.data();
+    const float* src = other.data_.data();
+    parallel_for(0, numel_, kElemGrain, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) dst[i] += src[i];
+    });
     return *this;
 }
 
@@ -176,14 +185,21 @@ Tensor&
 Tensor::operator-=(const Tensor& other)
 {
     INSITU_CHECK(same_shape(other), "shape mismatch in -=");
-    for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+    float* dst = data_.data();
+    const float* src = other.data_.data();
+    parallel_for(0, numel_, kElemGrain, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) dst[i] -= src[i];
+    });
     return *this;
 }
 
 Tensor&
 Tensor::operator*=(float scalar)
 {
-    for (auto& v : data_) v *= scalar;
+    float* dst = data_.data();
+    parallel_for(0, numel_, kElemGrain, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) dst[i] *= scalar;
+    });
     return *this;
 }
 

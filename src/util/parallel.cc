@@ -1,0 +1,235 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace insitu {
+
+namespace {
+
+/// True while the current thread is executing pool jobs; reentrant
+/// parallel_for calls run inline instead of deadlocking on the pool.
+thread_local bool tls_in_pool = false;
+
+int
+default_threads()
+{
+    if (const char* env = std::getenv("INSITU_THREADS")) {
+        const int n = std::atoi(env);
+        if (n > 0) return n;
+    }
+#ifdef INSITU_DEFAULT_THREADS
+    if (INSITU_DEFAULT_THREADS > 0) return INSITU_DEFAULT_THREADS;
+#endif
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+int g_override_threads = 0; ///< 0 = use default_threads()
+
+} // namespace
+
+struct ThreadPool::State {
+    std::mutex m;
+    std::condition_variable wake;
+    std::condition_variable done;
+    std::vector<std::thread> threads;
+    bool stop = false;
+    uint64_t epoch = 0; ///< bumped per run() to wake sleeping workers
+
+    // Job descriptor for the current run(). next/njobs/pending are
+    // atomics because finished workers of a previous epoch may still
+    // be racing through one last (empty) claim loop.
+    std::atomic<const std::function<void(int64_t)>*> job{nullptr};
+    std::atomic<int64_t> njobs{0};
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> pending{0};
+
+    /// Claim and execute jobs until none are left. Returns true if it
+    /// completed the last pending job of the current run.
+    bool
+    drain()
+    {
+        bool finished_last = false;
+        tls_in_pool = true;
+        for (;;) {
+            const int64_t j = next.fetch_add(1);
+            if (j >= njobs.load()) break;
+            const auto* fn = job.load();
+            if (fn == nullptr) break;
+            (*fn)(j);
+            if (pending.fetch_sub(1) == 1) finished_last = true;
+        }
+        tls_in_pool = false;
+        return finished_last;
+    }
+};
+
+ThreadPool::ThreadPool(int threads) : state_(new State), workers_(0)
+{
+    const int total = threads < 1 ? 1 : threads;
+    state_->threads.reserve(static_cast<size_t>(total - 1));
+    for (int i = 0; i < total - 1; ++i)
+        state_->threads.emplace_back([this] { worker_loop(); });
+    workers_ = state_->threads.size();
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(state_->m);
+        state_->stop = true;
+        ++state_->epoch;
+    }
+    state_->wake.notify_all();
+    for (auto& t : state_->threads) t.join();
+    delete state_;
+}
+
+void
+ThreadPool::worker_loop()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(state_->m);
+            state_->wake.wait(lock, [&] {
+                return state_->stop || state_->epoch != seen;
+            });
+            if (state_->stop) return;
+            seen = state_->epoch;
+        }
+        if (state_->drain()) {
+            // Touch the mutex so the notify cannot slip between the
+            // caller's predicate check and its wait.
+            { std::lock_guard<std::mutex> lock(state_->m); }
+            state_->done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::run(int64_t njobs, const std::function<void(int64_t)>& job)
+{
+    if (njobs <= 0) return;
+    if (workers_ == 0 || njobs == 1 || tls_in_pool) {
+        // Serial / reentrant path: same jobs, same thread, in order.
+        for (int64_t j = 0; j < njobs; ++j) job(j);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(state_->m);
+        state_->job.store(&job);
+        state_->njobs.store(njobs);
+        state_->pending.store(njobs);
+        // `next` last: a straggler from the previous epoch that claims
+        // early sees a fully published job (harmless work stealing).
+        state_->next.store(0);
+        ++state_->epoch;
+    }
+    state_->wake.notify_all();
+    if (state_->drain()) {
+        state_->job.store(nullptr);
+        return;
+    }
+    std::unique_lock<std::mutex> lock(state_->m);
+    state_->done.wait(lock,
+                      [&] { return state_->pending.load() == 0; });
+    state_->job.store(nullptr);
+}
+
+ThreadPool&
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (!g_pool) {
+        const int n = g_override_threads > 0 ? g_override_threads
+                                             : default_threads();
+        g_pool = std::make_unique<ThreadPool>(n);
+    }
+    return *g_pool;
+}
+
+int
+num_threads()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (g_pool) return g_pool->size();
+    return g_override_threads > 0 ? g_override_threads
+                                  : default_threads();
+}
+
+void
+set_num_threads(int n)
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    INSITU_CHECK(!tls_in_pool,
+                 "set_num_threads from inside a parallel region");
+    g_override_threads = n > 0 ? n : 0;
+    g_pool.reset(); // rebuilt lazily at the next global() call
+}
+
+int64_t
+chunk_count(int64_t n, int64_t grain)
+{
+    if (n <= 0) return 0;
+    const int64_t g = grain < 1 ? 1 : grain;
+    return (n + g - 1) / g;
+}
+
+void
+parallel_for_chunks(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t, int64_t)>& body)
+{
+    const int64_t n = end - begin;
+    if (n <= 0) return;
+    const int64_t g = grain < 1 ? 1 : grain;
+    const int64_t nchunks = chunk_count(n, g);
+    auto chunk_job = [&](int64_t c) {
+        const int64_t b = begin + c * g;
+        const int64_t e = b + g < end ? b + g : end;
+        body(c, b, e);
+    };
+    if (nchunks == 1) {
+        chunk_job(0);
+        return;
+    }
+    ThreadPool::global().run(nchunks, chunk_job);
+}
+
+void
+parallel_for(int64_t begin, int64_t end, int64_t grain,
+             const std::function<void(int64_t, int64_t)>& body)
+{
+    parallel_for_chunks(begin, end, grain,
+                        [&](int64_t, int64_t b, int64_t e) {
+                            body(b, e);
+                        });
+}
+
+uint64_t
+derive_stream(uint64_t seed, uint64_t a, uint64_t b)
+{
+    // splitmix64 finalizer applied to each mixed-in word.
+    auto mix = [](uint64_t x) {
+        x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+        return x ^ (x >> 31);
+    };
+    uint64_t h = mix(seed + 0x9E3779B97F4A7C15ULL);
+    h = mix(h ^ (a + 0x9E3779B97F4A7C15ULL));
+    h = mix(h ^ (b + 0xD1B54A32D192ED03ULL));
+    return h;
+}
+
+} // namespace insitu

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic multi-threaded execution: a chunked ThreadPool and
+ * `parallel_for` used by every hot loop in the library.
+ *
+ * Determinism is the design constraint, not an afterthought. The rules
+ * (documented in docs/internals.md, "The threading model"):
+ *
+ * 1. **Fixed decomposition.** A range is split into chunks by a caller
+ *    chosen grain only — never by the thread count — so the work
+ *    breakdown is identical whether 1 or 64 threads execute it.
+ * 2. **Disjoint writes.** A `parallel_for` body may only write state
+ *    owned by the indices of its chunk. With rule 1 this makes results
+ *    bit-identical for any thread count "for free".
+ * 3. **Ordered reductions.** Cross-chunk accumulation goes through
+ *    per-chunk partial buffers combined serially in ascending chunk
+ *    order (`parallel_for_chunks` exposes the chunk index for this).
+ *    Floating-point addition is not associative; an unordered or
+ *    atomic reduction would break replay.
+ * 4. **No nested pools.** A `parallel_for` issued from inside a worker
+ *    runs inline on that worker, so kernels stay composable (a
+ *    batch-parallel layer can call a row-parallel GEMM).
+ * 5. **Per-item RNG streams.** Parallel stochastic work derives one
+ *    seeded `Rng` per item (`Rng` + `derive_stream`) instead of
+ *    sharing a sequential stream.
+ *
+ * The worker count comes from, in priority order: `set_num_threads()`,
+ * the `INSITU_THREADS` environment variable, the `INSITU_THREADS`
+ * CMake cache option, `std::thread::hardware_concurrency()`.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace insitu {
+
+/**
+ * A fixed-size pool of worker threads executing indexed jobs.
+ *
+ * `run(njobs, job)` invokes `job(0) ... job(njobs-1)` exactly once
+ * each, on any of the workers or the calling thread, and returns when
+ * all jobs finished. Job *scheduling* is nondeterministic; callers get
+ * determinism by following the rules in the file header.
+ */
+class ThreadPool {
+  public:
+    /** Spawn a pool executing on @p threads threads total (the caller
+     * counts as one; `threads <= 1` means no workers are spawned and
+     * run() degenerates to a serial loop). */
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Execution width including the calling thread. */
+    int size() const { return static_cast<int>(workers_ + 1); }
+
+    /**
+     * Execute `job(j)` for every j in [0, njobs). Blocks until done.
+     * The calling thread participates. Reentrant calls (from inside a
+     * job) run their jobs inline on the current thread.
+     */
+    void run(int64_t njobs, const std::function<void(int64_t)>& job);
+
+    /**
+     * The process-wide pool, created on first use with
+     * `num_threads()` workers. Resized by `set_num_threads()`.
+     */
+    static ThreadPool& global();
+
+  private:
+    struct State;
+    void worker_loop();
+
+    State* state_;     ///< shared coordination block (pimpl)
+    size_t workers_;   ///< spawned worker threads (excludes caller)
+};
+
+/** Current execution width (>= 1) the global pool uses/would use. */
+int num_threads();
+
+/**
+ * Override the execution width of the global pool; `n <= 0` restores
+ * the environment/hardware default. Takes effect immediately (the
+ * global pool is rebuilt). Must not be called concurrently with
+ * parallel work — it is a configuration knob for mains, tests and
+ * benches, not a scheduling primitive.
+ */
+void set_num_threads(int n);
+
+/** Number of chunks a range of @p n items splits into at @p grain. */
+int64_t chunk_count(int64_t n, int64_t grain);
+
+/**
+ * Chunked parallel loop over [begin, end).
+ *
+ * The range is split into `chunk_count(end-begin, grain)` contiguous
+ * chunks of at most @p grain items; @p body is called once per chunk
+ * as `body(chunk_begin, chunk_end)`. The decomposition depends only on
+ * the range and @p grain (rule 1), so bodies with disjoint writes
+ * (rule 2) produce bit-identical results at any thread count.
+ * An empty range never invokes the body.
+ */
+void parallel_for(int64_t begin, int64_t end, int64_t grain,
+                  const std::function<void(int64_t, int64_t)>& body);
+
+/**
+ * Like parallel_for, but also hands the body its chunk index:
+ * `body(chunk, chunk_begin, chunk_end)`. This is the ordered-reduction
+ * primitive (rule 3): write partials into `partial[chunk]`, then
+ * combine `partial[0..nchunks)` serially after the loop returns.
+ */
+void parallel_for_chunks(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t, int64_t)>& body);
+
+/**
+ * Derive an independent RNG seed from a base seed and up to two
+ * stream indices (splitmix64-style mixing). Use one derived stream
+ * per parallel item (rule 5) so stochastic work is independent of
+ * both execution order and sibling items.
+ */
+uint64_t derive_stream(uint64_t seed, uint64_t a, uint64_t b = 0);
+
+} // namespace insitu
