@@ -23,7 +23,7 @@ for f in "$root"/*.md "$root"/docs/*.md "$root"/results/*.md; do
 done
 
 checked=0
-for doc in "${docs[@]}"; do
+for doc in ${docs[@]+"${docs[@]}"}; do  # empty-safe under set -u on bash 3.2
     dir="$(dirname "$doc")"
     # Pull the (...) target of every markdown link. One link per line;
     # tolerates several links on a source line.

@@ -46,13 +46,15 @@ struct ThreadPool::State {
     bool stop = false;
     uint64_t epoch = 0; ///< bumped per run() to wake sleeping workers
 
-    // Job descriptor for the current run(). next/njobs/pending are
-    // atomics because finished workers of a previous epoch may still
-    // be racing through one last (empty) claim loop.
+    // Job descriptor for the current run(). The atomics are raced by
+    // the workers of the *current* epoch only: run() waits for
+    // `active` to reach 0 before rewriting the descriptor, so a claim
+    // taken from `next` can never leak into a later epoch.
     std::atomic<const std::function<void(int64_t)>*> job{nullptr};
     std::atomic<int64_t> njobs{0};
     std::atomic<int64_t> next{0};
     std::atomic<int64_t> pending{0};
+    std::atomic<int> active{0}; ///< workers currently inside drain()
 
     /// Claim and execute jobs until none are left. Returns true if it
     /// completed the last pending job of the current run.
@@ -107,8 +109,14 @@ ThreadPool::worker_loop()
             });
             if (state_->stop) return;
             seen = state_->epoch;
+            // Entered under the mutex so run() cannot observe 0 and
+            // publish a new descriptor between our epoch read and the
+            // first claim in drain().
+            state_->active.fetch_add(1);
         }
-        if (state_->drain()) {
+        const bool finished_last = state_->drain();
+        const bool last_out = state_->active.fetch_sub(1) == 1;
+        if (finished_last || last_out) {
             // Touch the mutex so the notify cannot slip between the
             // caller's predicate check and its wait.
             { std::lock_guard<std::mutex> lock(state_->m); }
@@ -127,12 +135,18 @@ ThreadPool::run(int64_t njobs, const std::function<void(int64_t)>& job)
         return;
     }
     {
-        std::lock_guard<std::mutex> lock(state_->m);
+        std::unique_lock<std::mutex> lock(state_->m);
+        // A straggler of the previous run may still be inside drain():
+        // preempted between its next.fetch_add and the njobs check, it
+        // holds a claim index that would validate against *this* run's
+        // descriptor, executing a chunk twice and driving `pending`
+        // negative. Wait until every worker has left drain() before
+        // reusing the descriptor; only then is resetting `next` safe.
+        state_->done.wait(lock,
+                          [&] { return state_->active.load() == 0; });
         state_->job.store(&job);
         state_->njobs.store(njobs);
         state_->pending.store(njobs);
-        // `next` last: a straggler from the previous epoch that claims
-        // early sees a fully published job (harmless work stealing).
         state_->next.store(0);
         ++state_->epoch;
     }

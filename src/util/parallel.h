@@ -27,6 +27,12 @@
  * The worker count comes from, in priority order: `set_num_threads()`,
  * the `INSITU_THREADS` environment variable, the `INSITU_THREADS`
  * CMake cache option, `std::thread::hardware_concurrency()`.
+ *
+ * Parallel regions are submitted from **one application thread at a
+ * time** (see `ThreadPool::run`). The library itself only ever
+ * submits from the single top-level thread; if an embedder drives
+ * the library from several threads, it must serialize the calls that
+ * reach `parallel_for`.
  */
 #pragma once
 
@@ -61,6 +67,14 @@ class ThreadPool {
      * Execute `job(j)` for every j in [0, njobs). Blocks until done.
      * The calling thread participates. Reentrant calls (from inside a
      * job) run their jobs inline on the current thread.
+     *
+     * Single-submitter contract: run() may be invoked from one
+     * application thread at a time. Concurrent submissions from
+     * independent non-pool threads would clobber each other's job
+     * descriptor; like `set_num_threads()`, submission is a
+     * single-threaded top-level operation, not a scheduling
+     * primitive. (Reentrant calls from pool workers are fine — they
+     * run inline and never touch the descriptor.)
      */
     void run(int64_t njobs, const std::function<void(int64_t)>& job);
 

@@ -106,6 +106,34 @@ TEST(ParallelFor, ChunkDecompositionIndependentOfThreadCount)
     EXPECT_EQ(serial.back(), (std::pair<int64_t, int64_t>{32, 33}));
 }
 
+TEST(ParallelFor, BackToBackRunsNeverDoubleExecute)
+{
+    // Regression for the stale-claim race: a worker preempted between
+    // claiming an index and validating it could carry that claim into
+    // the next run(); with a larger njobs the stale index validated,
+    // executing a chunk twice and driving `pending` negative (which
+    // hangs a later run). Hammer back-to-back runs with growing job
+    // counts — the pattern that exposes it — and require exact
+    // single execution throughout.
+    with_threads(4, [&] {
+        const int64_t max_n = 64;
+        std::vector<std::atomic<int>> hits(max_n);
+        for (int rep = 0; rep < 2000; ++rep) {
+            const int64_t n = 1 + rep % max_n;
+            for (auto& h : hits) h.store(0);
+            parallel_for(0, n, 1, [&](int64_t b, int64_t e) {
+                for (int64_t i = b; i < e; ++i) ++hits[i];
+            });
+            for (int64_t i = 0; i < n; ++i) {
+                EXPECT_EQ(hits[i].load(), 1)
+                    << "rep " << rep << " index " << i;
+                if (hits[i].load() != 1) return 1; // stop the hammer
+            }
+        }
+        return 0;
+    });
+}
+
 TEST(ParallelFor, NestedCallsRunInline)
 {
     std::atomic<int64_t> total{0};
