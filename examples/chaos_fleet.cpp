@@ -1,14 +1,22 @@
 /**
  * @file
- * Chaos-tested fleet: the In-situ loop under realistic failure.
+ * Chaos-tested fleet: the In-situ loop under realistic failure,
+ * with and without the self-healing supervision layer.
  *
  * A three-node fleet runs multi-stage incremental learning while a
  * seeded FaultPlan throws everything a field deployment sees at it:
- * 20% payload loss and 5% corruption on every uplink, a half-stage
- * link outage, one node crashing (and rebooting from its checkpoint)
- * mid-run, and one stage whose upload labels arrive poisoned. The
- * run prints a per-stage resilience report, then replays itself from
- * the same seed to demonstrate the whole scenario is deterministic.
+ * 20% payload loss and 5% corruption on every uplink, a flapping link
+ * that silently eats transmissions for two stage windows, one node
+ * crash-looping (and rebooting from its checkpoint), and one stage
+ * whose upload labels arrive poisoned — with the cloud's holdout gate
+ * deliberately disabled, so only a canary rollout can catch it.
+ *
+ * The same scenario runs twice: unsupervised (PR 1's local defenses
+ * only) and supervised (circuit breakers, crash-loop quarantine,
+ * canary rollout). The run prints a per-stage resilience report and
+ * the recovered accuracy / saved radio energy, then replays the
+ * supervised run from the same seed to demonstrate the whole
+ * scenario — supervision decisions included — is deterministic.
  */
 #include <cstdio>
 #include <string>
@@ -21,34 +29,40 @@ using namespace insitu;
 namespace {
 
 FleetConfig
-chaos_config()
+chaos_config(bool supervised)
 {
     FleetConfig c;
     c.tiny.num_permutations = 8;
     c.update.epochs = 2;
-    // Stages train on few, hard (flagged-only) images; the
-    // bootstrap's learning rate overfits them and tanks the holdout,
-    // so incremental updates take smaller steps.
-    c.incremental_update = c.update;
-    c.incremental_update->lr = 0.003;
-    c.incremental_update->epochs = 1;
     c.pretrain_epochs = 3;
     c.incremental_pretrain_epochs = 1;
     c.node_severity_offset = {0.0, 0.1, 0.2};
     c.stage_window_s = 60.0;
     c.holdout_images = 64;
-    c.rollback_tolerance = 0.04;
+    // The holdout gate waves everything through: this scenario
+    // demonstrates the *canary* as the second line of defense.
+    c.rollback_tolerance = 1.0;
     c.seed = 42;
+    // A persistent sender: short backoff ceiling, so a flapping link
+    // gets hammered unless a breaker intervenes.
+    c.uplink.backoff_max_s = 1.0;
 
     // The failure scenario. Stage s occupies simulated time
     // [60 s, 60 (s+1)).
     c.faults.payload_loss_prob = 0.20;
     c.faults.payload_corrupt_prob = 0.05;
-    c.faults.outages = {{60.0, 115.0}}; // most of stage 1's window:
-                                        // stragglers spill to stage 2
-    c.faults.crashes = {{2, 1}};        // node 1 reboots in stage 2
-    c.faults.poisoned_stages = {3};     // bad labels in stage 3
+    // Stages 0-1: the link flaps, down 8 s of every 10 s. Unlike an
+    // outage, a flap is discovered only by a failed (energy-burning)
+    // transmission attempt.
+    c.faults.flapping = {{0.0, 120.0, 10.0, 8.0}};
+    c.faults.crashes = {{0, 1}, {1, 1}}; // node 1 crash-loops
+    c.faults.poisoned_stages = {3};      // bad labels in stage 3
     c.faults.seed = 0xC0FFEE;
+
+    if (supervised) {
+        SupervisorConfig sup; // stock breaker/quarantine/canary knobs
+        c.supervisor = sup;
+    }
     return c;
 }
 
@@ -56,7 +70,7 @@ chaos_config()
 std::string
 stage_line(const FleetStageReport& r)
 {
-    char buf[256];
+    char buf[320];
     std::string flags;
     if (r.crashed_nodes > 0)
         flags += " crash x" + std::to_string(r.crashed_nodes);
@@ -68,7 +82,18 @@ stage_line(const FleetStageReport& r)
                       r.holdout_trained, r.holdout_after);
         flags += rejected;
     }
-    if (!r.update_ran) flags += " (no uploads, no update)";
+    for (int n : r.newly_quarantined)
+        flags += " QUARANTINE node " + std::to_string(n);
+    for (int n : r.readmitted)
+        flags += " readmit node " + std::to_string(n);
+    if (r.canary_started) {
+        flags += " canary ->";
+        for (int n : r.canary_nodes)
+            flags += " node " + std::to_string(n);
+    }
+    if (r.canary_promoted) flags += " canary PROMOTED";
+    if (r.canary_rolled_back) flags += " canary ROLLED BACK";
+    if (!r.update_ran) flags += " (no update)";
     std::snprintf(buf, sizeof(buf),
                   "stage %d: delivered %3lld, backlog %3lld, "
                   "retx %3lld, gate %.2f -> %.2f, mean acc %.2f%s",
@@ -80,46 +105,69 @@ stage_line(const FleetStageReport& r)
     return buf;
 }
 
+/** What one whole run came to. */
+struct RunOutcome {
+    std::vector<std::string> lines;
+    double radio_joules = 0;
+    int64_t delivered = 0;
+    /// Fleet accuracy right after the poisoned stage deployed — the
+    /// stage where fleet-wide rollout and canary rollout differ most.
+    double post_poison_accuracy = 0;
+
+    double joules_per_image() const
+    {
+        return delivered ? radio_joules /
+                               static_cast<double>(delivered)
+                         : 0.0;
+    }
+};
+
 /** Run the full scenario, returning the per-stage report lines. */
-std::vector<std::string>
-run_scenario(bool print)
+RunOutcome
+run_scenario(bool supervised, bool print)
 {
-    FleetSim fleet(chaos_config());
+    FleetSim fleet(chaos_config(supervised));
     const double boot = fleet.bootstrap(90, 0.2);
     if (print) std::printf("bootstrap accuracy: %.2f\n", boot);
 
-    std::vector<std::string> lines;
+    RunOutcome out;
     for (int stage = 0; stage < 5; ++stage) {
         const FleetStageReport r =
             fleet.run_stage(45, 0.25 + 0.03 * stage);
-        lines.push_back(stage_line(r));
-        if (print) std::printf("%s\n", lines.back().c_str());
+        out.lines.push_back(stage_line(r));
+        if (r.poisoned) out.post_poison_accuracy = r.mean_accuracy_after;
+        if (print) std::printf("%s\n", out.lines.back().c_str());
     }
 
+    int64_t retx = 0, breaker_opens = 0;
+    double open_wait_s = 0;
+    for (size_t i = 0; i < fleet.size(); ++i) {
+        const UplinkStats& s = fleet.uplink(i).stats();
+        out.radio_joules += s.energy_j;
+        out.delivered += s.delivered;
+        retx += s.retransmits;
+        breaker_opens += s.breaker_opens;
+        open_wait_s += s.breaker_open_wait_s;
+    }
     if (print) {
         const FaultLog& log = fleet.injector().log();
-        std::printf("\nfaults injected: %lld lost, %lld corrupted, "
-                    "%lld crashes, %lld poisoned updates\n",
+        std::printf("faults injected: %lld lost, %lld flapped, "
+                    "%lld corrupted, %lld crashes, %lld poisoned\n",
                     static_cast<long long>(log.payloads_lost),
+                    static_cast<long long>(log.flapping_failures),
                     static_cast<long long>(log.payloads_corrupted),
                     static_cast<long long>(log.crashes),
                     static_cast<long long>(log.poisoned_updates));
-        int64_t dropped = 0, retx = 0;
-        double outage_s = 0;
-        for (size_t i = 0; i < fleet.size(); ++i) {
-            dropped += fleet.uplink(i).stats().dropped;
-            retx += fleet.uplink(i).stats().retransmits;
-            outage_s += fleet.uplink(i).stats().outage_wait_s;
-        }
-        std::printf("uplinks: %lld retransmits, %lld backlog drops, "
-                    "%.0f s waited out in outages\n",
-                    static_cast<long long>(retx),
-                    static_cast<long long>(dropped), outage_s);
-        std::printf("registry: %zu versions kept by the "
-                    "validation gate\n",
+        std::printf("uplinks: %lld retransmits, %.3f J radio energy",
+                    static_cast<long long>(retx), out.radio_joules);
+        if (supervised)
+            std::printf(", %lld breaker opens, %.0f s fast-failed",
+                        static_cast<long long>(breaker_opens),
+                        open_wait_s);
+        std::printf("\nregistry: %zu versions\n",
                     fleet.cloud().registry().size());
     }
-    return lines;
+    return out;
 }
 
 } // namespace
@@ -127,14 +175,41 @@ run_scenario(bool print)
 int
 main()
 {
-    std::printf("== chaos fleet: 3 nodes, 20%% loss, outage, crash, "
-                "poisoned update ==\n");
-    const std::vector<std::string> first = run_scenario(true);
+    std::printf("== chaos fleet: flapping link, crash-looping node, "
+                "poisoned update (gate disabled) ==\n");
+    std::printf("\n-- unsupervised (local defenses only) --\n");
+    const RunOutcome naive = run_scenario(false, true);
 
-    std::printf("\nreplaying the identical scenario from the same "
+    std::printf("\n-- supervised (breakers + quarantine + canary) "
+                "--\n");
+    const RunOutcome supervised = run_scenario(true, true);
+
+    std::printf("\n== supervised vs unsupervised, same FaultPlan ==\n");
+    // The two fleets flag (and therefore deliver) different image
+    // counts once their models diverge, so the fair radio metric is
+    // energy per delivered image.
+    std::printf("radio energy: %.4f J/image (%.3f J / %lld img) vs "
+                "%.4f J/image (%.3f J / %lld img) — %.0f%% saved\n",
+                supervised.joules_per_image(),
+                supervised.radio_joules,
+                static_cast<long long>(supervised.delivered),
+                naive.joules_per_image(), naive.radio_joules,
+                static_cast<long long>(naive.delivered),
+                100.0 * (1.0 - supervised.joules_per_image() /
+                                   naive.joules_per_image()));
+    std::printf("accuracy after the poisoned stage deployed: "
+                "%.2f vs %.2f (%+.2f recovered — the canary kept "
+                "the poison off %zu of %zu nodes)\n",
+                supervised.post_poison_accuracy,
+                naive.post_poison_accuracy,
+                supervised.post_poison_accuracy -
+                    naive.post_poison_accuracy,
+                static_cast<size_t>(2), static_cast<size_t>(3));
+
+    std::printf("\nreplaying the supervised scenario from the same "
                 "seed...\n");
-    const std::vector<std::string> second = run_scenario(false);
-    const bool identical = first == second;
+    const RunOutcome replay = run_scenario(true, false);
+    const bool identical = supervised.lines == replay.lines;
     std::printf("replay bit-identical: %s\n",
                 identical ? "yes" : "NO (determinism broken)");
     return identical ? 0 : 1;

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Determinism checker for the chaos_fleet example, run as a ctest
+# (`check_chaos`). Runs the binary once with INSITU_THREADS=1 and once
+# with INSITU_THREADS=4 and byte-diffs the outputs: every supervision
+# decision (breaker trips, quarantines, canary verdicts) must land on
+# the same stage with the same numbers at any thread count.
+#
+# Usage: check_chaos.sh <path-to-chaos_fleet-binary>
+set -u
+
+if [ $# -ne 1 ] || [ ! -x "$1" ]; then
+    printf 'usage: %s <chaos_fleet binary>\n' "$0" >&2
+    exit 2
+fi
+binary="$1"
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+for threads in 1 4; do
+    if ! INSITU_THREADS=$threads "$binary" \
+            > "$tmpdir/threads$threads.out" 2>&1; then
+        printf 'check_chaos: FAILED (exit code at threads=%s)\n' \
+            "$threads" >&2
+        cat "$tmpdir/threads$threads.out" >&2
+        exit 1
+    fi
+done
+
+if ! diff -u "$tmpdir/threads1.out" "$tmpdir/threads4.out" >&2; then
+    printf 'check_chaos: FAILED (output differs across thread counts)\n' >&2
+    exit 1
+fi
+
+printf 'check_chaos: OK (%s lines bit-identical at threads 1 and 4)\n' \
+    "$(wc -l < "$tmpdir/threads1.out")"

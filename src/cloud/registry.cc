@@ -37,6 +37,14 @@ ModelRegistry::restore(int64_t id, Network& net) const
 }
 
 std::optional<ModelVersion>
+ModelRegistry::find(int64_t id) const
+{
+    if (id < 1 || id > static_cast<int64_t>(versions_.size()))
+        return std::nullopt;
+    return versions_[static_cast<size_t>(id - 1)];
+}
+
+std::optional<ModelVersion>
 ModelRegistry::best() const
 {
     std::optional<ModelVersion> out;

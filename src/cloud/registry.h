@@ -40,6 +40,9 @@ class ModelRegistry {
     /** Restore version @p id into @p net. False if unknown/mismatch. */
     bool restore(int64_t id, Network& net) const;
 
+    /** Metadata of version @p id, if it exists. */
+    std::optional<ModelVersion> find(int64_t id) const;
+
     /** Metadata of all versions, oldest first. */
     const std::vector<ModelVersion>& versions() const
     {

@@ -98,10 +98,25 @@ ModelUpdateService::validated_update(const Dataset& data,
         report.holdout_after = report.holdout_before;
     } else {
         report.holdout_after = after;
-        registry_.commit(inference_, "accepted", after,
-                         images_received_);
+        report.accepted_version = registry_.commit(
+            inference_, "accepted", after, images_received_);
     }
     return report;
+}
+
+bool
+ModelUpdateService::rollback_to(int64_t version,
+                                const std::string& tag)
+{
+    const auto meta = registry_.find(version);
+    if (!meta || !registry_.restore(version, inference_)) {
+        warn("rollback to unknown model version " +
+             std::to_string(version));
+        return false;
+    }
+    registry_.commit(inference_, tag, meta->validation_accuracy,
+                     images_received_);
+    return true;
 }
 
 double

@@ -51,6 +51,9 @@ struct ValidatedUpdateReport {
     bool rolled_back = false;  ///< update regressed and was rejected
     int64_t baseline_version = 0; ///< registry id of the pre-update
                                   ///< snapshot (the rollback target)
+    int64_t accepted_version = 0; ///< registry id of the accepted
+                                  ///< update (0 when rolled back);
+                                  ///< what a canary rollout evaluates
 };
 
 /** Cloud training/update service over the TinyNet family. */
@@ -94,6 +97,17 @@ class ModelUpdateService {
                                            const UpdatePolicy& policy,
                                            const Dataset& holdout,
                                            double tolerance = 0.02);
+
+    /**
+     * Restore registry version @p version into the inference network
+     * and record the event as a new @p tag-tagged registry version
+     * (carrying the restored version's validation accuracy), so the
+     * registry history shows *that* a rollback happened, not just the
+     * version it landed on. Used by the fleet supervisor when a
+     * canary rollout fails. @return false if @p version is unknown.
+     */
+    bool rollback_to(int64_t version,
+                     const std::string& tag = "rollback");
 
     /** Inference accuracy on a labeled dataset. */
     double evaluate(const Dataset& data);

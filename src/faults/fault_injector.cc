@@ -9,6 +9,14 @@ FaultInjector::FaultInjector(FaultPlan plan)
 }
 
 bool
+FaultInjector::transmission_flapped(double t)
+{
+    const bool flapped = plan_.flapping_down(t);
+    if (flapped) ++log_.flapping_failures;
+    return flapped;
+}
+
+bool
 FaultInjector::drop_payload()
 {
     const bool lost = rng_.bernoulli(plan_.payload_loss_prob);

@@ -24,6 +24,7 @@ namespace insitu {
 struct FaultLog {
     int64_t payloads_lost = 0;      ///< transmissions with no ack
     int64_t payloads_corrupted = 0; ///< transmissions with bad bits
+    int64_t flapping_failures = 0;  ///< attempts eaten by a flap burst
     int64_t crashes = 0;            ///< node reboot events fired
     int64_t poisoned_updates = 0;   ///< poisoned stages fired
 };
@@ -41,6 +42,14 @@ class FaultInjector {
 
     /** First time >= @p t at which the link is up again. (pure) */
     double outage_end(double t) const { return plan_.outage_end(t); }
+
+    /**
+     * Does a transmission starting at @p t die in a flapping
+     * down-burst? A pure function of the plan and @p t (no draw
+     * consumed), but logged — the sender only learns by the missing
+     * ack.
+     */
+    bool transmission_flapped(double t);
 
     /**
      * Draw: does this transmission attempt vanish in flight?

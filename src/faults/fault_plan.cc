@@ -1,17 +1,32 @@
 #include "faults/fault_plan.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.h"
 
 namespace insitu {
 
+const char*
+fault_kind_name(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::kOutage: return "outage";
+    case FaultKind::kFlappingLink: return "flapping-link";
+    case FaultKind::kPayloadLoss: return "payload-loss";
+    case FaultKind::kPayloadCorruption: return "payload-corruption";
+    case FaultKind::kNodeCrash: return "node-crash";
+    case FaultKind::kPoisonedUpdate: return "poisoned-update";
+    }
+    return "?";
+}
+
 bool
 FaultPlan::empty() const
 {
-    return outages.empty() && payload_loss_prob == 0.0 &&
-           payload_corrupt_prob == 0.0 && crashes.empty() &&
-           poisoned_stages.empty();
+    return outages.empty() && flapping.empty() &&
+           payload_loss_prob == 0.0 && payload_corrupt_prob == 0.0 &&
+           crashes.empty() && poisoned_stages.empty();
 }
 
 bool
@@ -43,6 +58,18 @@ FaultPlan::outage_end(double t) const
 }
 
 bool
+FaultPlan::flapping_down(double t) const
+{
+    return std::any_of(flapping.begin(), flapping.end(),
+                       [t](const FlappingWindow& w) {
+                           if (t < w.from_s || t >= w.to_s)
+                               return false;
+                           return std::fmod(t - w.from_s, w.period_s) <
+                                  w.down_s;
+                       });
+}
+
+bool
 FaultPlan::crashes_at(int stage, int node) const
 {
     return std::any_of(crashes.begin(), crashes.end(),
@@ -68,6 +95,13 @@ FaultPlan::validated() const
         "payload_corrupt_prob must be a probability");
     for (const OutageWindow& w : outages)
         INSITU_CHECK(w.to_s >= w.from_s, "outage window must be ordered");
+    for (const FlappingWindow& w : flapping) {
+        INSITU_CHECK(w.to_s >= w.from_s,
+                     "flapping window must be ordered");
+        INSITU_CHECK(w.period_s > 0, "flapping period must be positive");
+        INSITU_CHECK(w.down_s >= 0 && w.down_s <= w.period_s,
+                     "flapping down burst must fit the period");
+    }
     return *this;
 }
 

@@ -18,10 +18,45 @@
 
 namespace insitu {
 
+/**
+ * The kinds of fault a plan can inject. Each kind has a first-class
+ * defense; the fault-kind -> defense "recovery matrix" is documented
+ * in docs/robustness.md.
+ */
+enum class FaultKind {
+    kOutage,            ///< announced downtime: the radio waits it out
+    kFlappingLink,      ///< short repeated down-bursts discovered only
+                        ///< by failed attempts (the circuit breaker's
+                        ///< adversary)
+    kPayloadLoss,       ///< a transmission vanishes (no ack)
+    kPayloadCorruption, ///< a transmission arrives bit-flipped
+    kNodeCrash,         ///< a node reboots, losing in-flight data
+    kPoisonedUpdate,    ///< a stage's upload labels arrive scrambled
+};
+
+/** Printable name of a fault kind. */
+const char* fault_kind_name(FaultKind kind);
+
 /** A closed-open interval [from_s, to_s) during which the link is down. */
 struct OutageWindow {
     double from_s = 0;
     double to_s = 0;
+};
+
+/**
+ * A flapping link: inside [from_s, to_s) the link cycles with period
+ * `period_s`, and is down for the first `down_s` seconds of every
+ * cycle. Unlike an OutageWindow — announced downtime the radio simply
+ * waits out — a flap is discovered only by a failed transmission
+ * attempt: the payload gets no ack, the energy is burnt, and the
+ * sender retries. This is the adversary the uplink circuit breaker
+ * exists for (see iot/supervisor.h).
+ */
+struct FlappingWindow {
+    double from_s = 0;
+    double to_s = 0;
+    double period_s = 10.0; ///< one down+up cycle
+    double down_s = 4.0;    ///< down burst at the start of each cycle
 };
 
 /** Node @p node reboots during stage @p stage, losing in-flight data. */
@@ -38,6 +73,9 @@ struct NodeCrashEvent {
 struct FaultPlan {
     /// Windows (simulation seconds) during which no payload moves.
     std::vector<OutageWindow> outages;
+    /// Windows during which the link flaps: transmission attempts
+    /// inside a down-burst fail (no ack) after burning their energy.
+    std::vector<FlappingWindow> flapping;
     /// Probability one transmission attempt vanishes (no ack).
     double payload_loss_prob = 0.0;
     /// Probability one transmission arrives with flipped bits
@@ -63,6 +101,13 @@ struct FaultPlan {
      * link is up.
      */
     double outage_end(double t) const;
+
+    /**
+     * Is the link inside a flapping down-burst at time @p t? Unlike
+     * link_down, callers do not get to wait this out — they find out
+     * by the transmission failing.
+     */
+    bool flapping_down(double t) const;
 
     /** Does @p node crash during @p stage? */
     bool crashes_at(int stage, int node) const;

@@ -31,6 +31,13 @@ FleetSim::FleetSim(FleetConfig config)
     }
     pending_uploads_.resize(n);
     checkpoints_.resize(n);
+    if (config_.supervisor) {
+        supervisor_.emplace(config_.supervisor->validated(), n);
+        // The breakers_ vector never resizes after construction, so
+        // these pointers stay valid for the fleet's lifetime.
+        for (size_t i = 0; i < n; ++i)
+            uplinks_[i].set_breaker(&supervisor_->breaker(i));
+    }
 }
 
 InsituNode&
@@ -58,12 +65,21 @@ void
 FleetSim::deploy_all()
 {
     for (size_t i = 0; i < nodes_.size(); ++i) {
-        nodes_[i].deploy_diagnosis(cloud_.jigsaw());
-        nodes_[i].deploy_inference(cloud_.inference());
-        // The checkpoint is the reboot target: a crash between
-        // deployments loses in-flight data, never the deployed model.
-        checkpoints_[i] = nodes_[i].checkpoint();
+        // A quarantined node's redeploys are suspended; it rejoins
+        // the deployment set when the supervisor re-admits it.
+        if (supervisor_ && supervisor_->quarantined(i)) continue;
+        deploy_node(i);
     }
+}
+
+void
+FleetSim::deploy_node(size_t i)
+{
+    nodes_[i].deploy_diagnosis(cloud_.jigsaw());
+    nodes_[i].deploy_inference(cloud_.inference());
+    // The checkpoint is the reboot target: a crash between
+    // deployments loses in-flight data, never the deployed model.
+    checkpoints_[i] = nodes_[i].checkpoint();
 }
 
 double
@@ -132,6 +148,7 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
     const size_t nnodes = nodes_.size();
     std::vector<Dataset> stage_data(nnodes);
     std::vector<char> crashed(nnodes, 0);
+    std::vector<char> restore_failed(nnodes, 0);
     for (size_t i = 0; i < nnodes; ++i) {
         crashed[i] = injector_.node_crashes(stage_index_,
                                             static_cast<int>(i))
@@ -153,8 +170,11 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
             nr.crashed = true;
             nr.lost_in_crash = uplinks_[i].clear();
             pending_uploads_[i] = Dataset{};
-            INSITU_CHECK(nodes_[i].restore(checkpoints_[i]),
-                         "node reboot failed to restore checkpoint");
+            // restore() is all-or-nothing: a failed reboot leaves the
+            // node on its previous weights. The supervisor counts the
+            // event against the node's health.
+            if (!nodes_[i].restore(checkpoints_[i]))
+                restore_failed[i] = 1;
         } else {
             const Dataset& data = stage_data[i];
             const NodeStageReport node_report =
@@ -194,6 +214,49 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
     for (const auto& nr : report.nodes)
         if (nr.crashed) ++report.crashed_nodes;
 
+    // Phase 1.5 (supervised fleets only): feed the stage's
+    // observations to the supervisor — serial and node-ascending, so
+    // the decisions are a pure function of replay-ordered state — and
+    // act on its verdicts. A judged canary resolves here, *before*
+    // this stage's cloud update, using accuracies measured on the
+    // models deployed last stage (canaries on the candidate, controls
+    // on the baseline).
+    if (supervisor_) {
+        for (size_t i = 0; i < nnodes; ++i) {
+            NodeStageObservation obs;
+            obs.crashed = crashed[i] != 0;
+            obs.restore_failed = restore_failed[i] != 0;
+            obs.flag_rate = report.nodes[i].flag_rate;
+            obs.accuracy = report.nodes[i].accuracy_before;
+            obs.has_accuracy = !crashed[i];
+            supervisor_->observe(i, obs);
+        }
+        const SupervisorStageDecisions decisions =
+            supervisor_->end_stage(stage_index_);
+        report.newly_quarantined = decisions.newly_quarantined;
+        report.readmitted = decisions.readmitted;
+        if (decisions.canary_judged) {
+            if (decisions.canary_promoted) {
+                report.canary_promoted = true;
+                // The cloud already runs the accepted version (updates
+                // were deferred while the canary was pending); ship it
+                // fleet-wide.
+                deploy_all();
+            } else if (decisions.canary_rolled_back) {
+                report.canary_rolled_back = true;
+                INSITU_CHECK(
+                    cloud_.rollback_to(decisions.rollback_version,
+                                       "canary-rollback"),
+                    "canary rollback target missing from registry");
+                deploy_all();
+            }
+        }
+        // Re-admitted nodes missed redeploys while quarantined; bring
+        // them back onto the current cloud model.
+        for (int i : decisions.readmitted)
+            deploy_node(static_cast<size_t>(i));
+    }
+
     // Phase 2: radios drain inside the stage window. What does not
     // make it (outage, backoff, window end) stays queued — those
     // stragglers deliver in a later stage, stale but not lost.
@@ -219,16 +282,37 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
         report.straggler_backlog += nr.backlogged;
         report.retransmits += uplinks_[i].stats().retransmits;
         report.corrupted += uplinks_[i].stats().corrupted;
+        report.breaker_opens += uplinks_[i].stats().breaker_opens;
+        report.breaker_open_wait_s +=
+            uplinks_[i].stats().breaker_open_wait_s;
     }
 
     // Phase 3: one validation-gated cloud update on whatever the
     // surviving nodes delivered (a stage with zero deliveries still
     // completes — the fleet just redeploys the current model).
+    // Supervision refinements: quarantined nodes' deliveries never
+    // reach the pool, and while a canary verdict is pending the pool
+    // is held back (trained after the verdict) so the canary/control
+    // split stays clean.
     std::vector<const Dataset*> ptrs;
-    for (const auto& p : delivered_parts)
-        if (p.size() > 0) ptrs.push_back(&p);
-    if (!ptrs.empty()) {
+    if (deferred_pool_.size() > 0) ptrs.push_back(&deferred_pool_);
+    for (size_t i = 0; i < delivered_parts.size(); ++i) {
+        if (delivered_parts[i].size() == 0) continue;
+        if (supervisor_ && supervisor_->quarantined(i)) {
+            report.excluded_uploads += delivered_parts[i].size();
+            continue;
+        }
+        ptrs.push_back(&delivered_parts[i]);
+    }
+    const bool canary_pending =
+        supervisor_ && supervisor_->canary_pending();
+    if (!ptrs.empty() && canary_pending) {
+        // All canaries sat this stage out (crashed); the verdict is
+        // deferred, and so is training on this stage's pool.
+        deferred_pool_ = concat_datasets(ptrs);
+    } else if (!ptrs.empty()) {
         Dataset pooled = concat_datasets(ptrs);
+        deferred_pool_ = Dataset{};
         report.update_ran = true;
         if (injector_.update_poisoned(stage_index_)) {
             // A bad labeling batch: every label shifts by half the
@@ -258,8 +342,45 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
         report.holdout_before = vr.holdout_before;
         report.holdout_after = vr.holdout_after;
         report.holdout_trained = vr.holdout_trained;
+
+        // Stage the accepted update through a canary subset instead
+        // of deploying it fleet-wide. The judgment baseline is this
+        // stage's healthy-fleet mean (all healthy nodes still run the
+        // pre-update model here).
+        if (supervisor_ && supervisor_->config().canary_enabled &&
+            !vr.rolled_back && vr.accepted_version != 0) {
+            std::vector<int> canaries = supervisor_->pick_canaries();
+            if (!canaries.empty()) {
+                double base_acc = 0, base_flag = 0;
+                int64_t healthy = 0;
+                for (size_t i = 0; i < nnodes; ++i) {
+                    if (crashed[i] || supervisor_->quarantined(i))
+                        continue;
+                    base_acc += report.nodes[i].accuracy_before;
+                    base_flag += report.nodes[i].flag_rate;
+                    ++healthy;
+                }
+                if (healthy > 0) {
+                    base_acc /= static_cast<double>(healthy);
+                    base_flag /= static_cast<double>(healthy);
+                }
+                supervisor_->start_canary(
+                    stage_index_, canaries, vr.accepted_version,
+                    vr.baseline_version, base_acc, base_flag);
+                report.canary_started = true;
+                report.canary_nodes = canaries;
+            }
+        }
     }
-    deploy_all();
+    if (report.canary_started) {
+        // Only the canary subset receives the candidate model; the
+        // control group stays on the baseline until the verdict.
+        for (int c : report.canary_nodes)
+            deploy_node(static_cast<size_t>(c));
+    } else if (!canary_pending) {
+        deploy_all();
+    }
+    // (canary_pending: no deployment at all — the split must hold.)
 
     // Phase 4: post-deployment accuracy. Crashed nodes acquired
     // nothing this stage; the mean covers the nodes that did.
@@ -281,6 +402,15 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
     }
     if (measured > 0)
         report.mean_accuracy_after /= static_cast<double>(measured);
+
+    if (supervisor_) {
+        for (size_t i = 0; i < nnodes; ++i) {
+            report.nodes[i].quarantined = supervisor_->quarantined(i);
+            report.nodes[i].canary = supervisor_->is_canary(i);
+            if (report.nodes[i].quarantined)
+                ++report.quarantined_nodes;
+        }
+    }
 
     ++stage_index_;
     clock_s_ = window_to;

@@ -35,6 +35,7 @@
 #include "cloud/update_service.h"
 #include "faults/fault_injector.h"
 #include "iot/node.h"
+#include "iot/supervisor.h"
 #include "iot/uplink.h"
 
 namespace insitu {
@@ -70,6 +71,11 @@ struct FleetConfig {
     double rollback_tolerance = 0.02;
     /// Failure scenario; the default injects nothing.
     FaultPlan faults;
+    /// Optional self-healing supervision layer (uplink circuit
+    /// breakers, crash-loop quarantine, canary rollout — see
+    /// iot/supervisor.h). nullopt reproduces the unsupervised fleet
+    /// exactly.
+    std::optional<SupervisorConfig> supervisor;
     uint64_t seed = 1;
 };
 
@@ -82,6 +88,9 @@ struct FleetNodeReport {
     int64_t lost_in_crash = 0;///< in-flight images a reboot destroyed
     int64_t dropped = 0;      ///< evicted by the bounded backlog
     bool crashed = false;     ///< node rebooted during this stage
+    bool quarantined = false; ///< under quarantine after this stage's
+                              ///< supervision pass
+    bool canary = false;      ///< carries a canary model
     double flag_rate = 0;
     double accuracy_before = 0;
     double accuracy_after = 0;
@@ -104,6 +113,21 @@ struct FleetStageReport {
     double holdout_trained = 0;   ///< raw accuracy of the trained
                                   ///< weights (even when rejected)
     double mean_accuracy_after = 0;
+
+    // Supervision outcome (all zero/empty when unsupervised):
+    int64_t quarantined_nodes = 0;    ///< nodes quarantined after this
+                                      ///< stage's supervision pass
+    std::vector<int> newly_quarantined;
+    std::vector<int> readmitted;
+    int64_t excluded_uploads = 0;     ///< quarantined deliveries kept
+                                      ///< out of the update pool
+    bool canary_started = false;      ///< this stage's update went to
+                                      ///< a canary subset only
+    bool canary_promoted = false;     ///< pending canary promoted
+    bool canary_rolled_back = false;  ///< pending canary rolled back
+    std::vector<int> canary_nodes;    ///< subset of a started canary
+    int64_t breaker_opens = 0;        ///< cumulative breaker opens
+    double breaker_open_wait_s = 0;   ///< cumulative fast-fail time
 };
 
 /** A fleet of In-situ nodes sharing one cloud. */
@@ -138,6 +162,10 @@ class FleetSim {
     InsituNode& node(size_t i);
     UplinkQueue& uplink(size_t i);
     const FaultInjector& injector() const { return injector_; }
+    /** The supervision layer, or nullptr when unsupervised. */
+    const FleetSupervisor* supervisor() const {
+        return supervisor_ ? &*supervisor_ : nullptr;
+    }
 
     /** Stages run so far (the stage index of the next run_stage). */
     int stage_index() const { return stage_index_; }
@@ -147,8 +175,14 @@ class FleetSim {
     Condition node_condition(size_t node,
                              double base_severity) const;
 
-    /** Deploy the cloud models fleet-wide and refresh checkpoints. */
+    /**
+     * Deploy the cloud models fleet-wide (skipping quarantined
+     * nodes, whose redeploys are suspended) and refresh checkpoints.
+     */
     void deploy_all();
+
+    /** Deploy the cloud models to one node and refresh its checkpoint. */
+    void deploy_node(size_t i);
 
     FleetConfig config_;
     ModelUpdateService cloud_;
@@ -158,7 +192,13 @@ class FleetSim {
     /// Flagged images queued on each node, FIFO, row-aligned with the
     /// node's UplinkQueue payloads. Lost wholesale on a crash.
     std::vector<Dataset> pending_uploads_;
+    /// Pooled uploads held back while a canary verdict is pending
+    /// (trained in the first stage after the verdict lands).
+    Dataset deferred_pool_;
     std::vector<NodeCheckpoint> checkpoints_;
+    /// Engaged iff config_.supervisor is set. Stable address: the
+    /// uplinks hold pointers into its breakers.
+    std::optional<FleetSupervisor> supervisor_;
     int stage_index_ = 0;
     double clock_s_ = 0;
     Rng rng_;

@@ -84,13 +84,26 @@ InsituNode::restore(const NodeCheckpoint& ckpt)
         std::istringstream is(blob);
         return load_weights(net, is);
     };
+    // All-or-nothing: a checkpoint with one valid and one corrupt
+    // blob must leave the node exactly as it was. load_weights can
+    // leave a network partially written on a shape mismatch, so
+    // snapshot the current weights first and undo on any failure.
+    const NodeCheckpoint before = checkpoint();
     // The trunk's shared conv prefix aliases the inference storage;
     // loading inference last leaves the shared tensors at the
     // inference values, matching deploy_diagnosis-then-
     // deploy_inference order.
-    bool ok = load(diagnosis_.network().trunk(), ckpt.trunk_blob);
-    ok = load(diagnosis_.network().head(), ckpt.head_blob) && ok;
-    ok = load(inference_.network(), ckpt.inference_blob) && ok;
+    const bool ok =
+        load(diagnosis_.network().trunk(), ckpt.trunk_blob) &&
+        load(diagnosis_.network().head(), ckpt.head_blob) &&
+        load(inference_.network(), ckpt.inference_blob);
+    if (!ok) {
+        INSITU_CHECK(
+            load(diagnosis_.network().trunk(), before.trunk_blob) &&
+                load(diagnosis_.network().head(), before.head_blob) &&
+                load(inference_.network(), before.inference_blob),
+            "failed to undo a partial checkpoint restore");
+    }
     return ok;
 }
 

@@ -71,9 +71,10 @@ class InsituNode {
     NodeCheckpoint checkpoint() const;
 
     /**
-     * Reboot path: load the models back from @p ckpt.
-     * @return false (leaving the node unchanged where possible) on a
-     *         malformed or incompatible checkpoint.
+     * Reboot path: load the models back from @p ckpt. All-or-nothing:
+     * every blob is applied, or — on a malformed or incompatible
+     * checkpoint — none is.
+     * @return false (leaving the node unchanged) on failure.
      */
     bool restore(const NodeCheckpoint& ckpt);
 

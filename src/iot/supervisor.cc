@@ -1,0 +1,298 @@
+#include "iot/supervisor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace insitu {
+
+const char*
+breaker_state_name(BreakerState state)
+{
+    switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+    }
+    return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(config)
+{
+    INSITU_CHECK(config_.failure_threshold >= 1,
+                 "breaker needs a positive failure threshold");
+    INSITU_CHECK(config_.cooldown_s > 0,
+                 "breaker cooldown must be positive");
+    INSITU_CHECK(config_.probe_successes >= 1,
+                 "breaker needs a positive probe count");
+}
+
+void
+CircuitBreaker::open(double now_s)
+{
+    state_ = BreakerState::kOpen;
+    retry_at_ = now_s + config_.cooldown_s;
+    consecutive_failures_ = 0;
+    half_open_successes_ = 0;
+    ++opens_;
+}
+
+bool
+CircuitBreaker::allow_attempt(double now_s)
+{
+    if (state_ == BreakerState::kOpen) {
+        if (now_s < retry_at_) return false;
+        state_ = BreakerState::kHalfOpen;
+        half_open_successes_ = 0;
+    }
+    if (state_ == BreakerState::kHalfOpen) ++probes_;
+    return true;
+}
+
+void
+CircuitBreaker::on_success(double)
+{
+    consecutive_failures_ = 0;
+    if (state_ == BreakerState::kHalfOpen) {
+        if (++half_open_successes_ >= config_.probe_successes) {
+            state_ = BreakerState::kClosed;
+            half_open_successes_ = 0;
+            ++closes_;
+        }
+    }
+}
+
+void
+CircuitBreaker::on_failure(double now_s)
+{
+    if (state_ == BreakerState::kHalfOpen) {
+        // The probe failed: the link is still bad, back to open.
+        open(now_s);
+        return;
+    }
+    if (state_ == BreakerState::kClosed &&
+        ++consecutive_failures_ >= config_.failure_threshold)
+        open(now_s);
+}
+
+const SupervisorConfig&
+SupervisorConfig::validated() const
+{
+    INSITU_CHECK(quarantine.crash_threshold >= 1,
+                 "quarantine threshold must be positive");
+    INSITU_CHECK(quarantine.window_stages >= 1,
+                 "quarantine window must be positive");
+    INSITU_CHECK(quarantine.readmit_after >= 1,
+                 "readmit streak must be positive");
+    INSITU_CHECK(canary.canary_nodes >= 1,
+                 "canary subset must be positive");
+    INSITU_CHECK(canary.accuracy_tolerance >= 0 &&
+                     canary.flag_rate_tolerance >= 0,
+                 "canary tolerances must be non-negative");
+    return *this;
+}
+
+double
+NodeHealth::score() const
+{
+    const double completion =
+        (static_cast<double>(stages_completed) + 1.0) /
+        (static_cast<double>(stages_seen) + 1.0);
+    const double fault_penalty =
+        1.0 / (1.0 + static_cast<double>(recent_faults.size()) +
+               static_cast<double>(restore_failures));
+    return completion * fault_penalty;
+}
+
+FleetSupervisor::FleetSupervisor(SupervisorConfig config,
+                                 size_t num_nodes)
+    : config_(config.validated()), health_(num_nodes),
+      observations_(num_nodes), observed_(num_nodes, 0)
+{
+    INSITU_CHECK(num_nodes > 0, "supervisor needs at least one node");
+    breakers_.reserve(num_nodes);
+    for (size_t i = 0; i < num_nodes; ++i)
+        breakers_.emplace_back(config_.breaker);
+}
+
+CircuitBreaker&
+FleetSupervisor::breaker(size_t node)
+{
+    INSITU_CHECK(node < breakers_.size(), "node index out of range");
+    return breakers_[node];
+}
+
+const CircuitBreaker&
+FleetSupervisor::breaker(size_t node) const
+{
+    INSITU_CHECK(node < breakers_.size(), "node index out of range");
+    return breakers_[node];
+}
+
+const NodeHealth&
+FleetSupervisor::health(size_t node) const
+{
+    INSITU_CHECK(node < health_.size(), "node index out of range");
+    return health_[node];
+}
+
+bool
+FleetSupervisor::quarantined(size_t node) const
+{
+    return health(node).quarantined;
+}
+
+bool
+FleetSupervisor::is_canary(size_t node) const
+{
+    return canary_.pending &&
+           std::find(canary_.nodes.begin(), canary_.nodes.end(),
+                     static_cast<int>(node)) != canary_.nodes.end();
+}
+
+void
+FleetSupervisor::observe(size_t node, const NodeStageObservation& obs)
+{
+    INSITU_CHECK(node < health_.size(), "node index out of range");
+    observations_[node] = obs;
+    observed_[node] = 1;
+}
+
+SupervisorStageDecisions
+FleetSupervisor::end_stage(int stage)
+{
+    SupervisorStageDecisions decisions;
+
+    // 1. Health + quarantine transitions, node-ascending.
+    for (size_t i = 0; i < health_.size(); ++i) {
+        if (!observed_[i]) continue;
+        const NodeStageObservation& obs = observations_[i];
+        NodeHealth& h = health_[i];
+        ++h.stages_seen;
+        const bool faulted = obs.crashed || obs.restore_failed;
+        if (obs.crashed) ++h.crashes;
+        if (obs.restore_failed) ++h.restore_failures;
+        if (!faulted) {
+            ++h.stages_completed;
+            h.last_flag_rate = obs.flag_rate;
+            if (obs.has_accuracy) h.last_accuracy = obs.accuracy;
+        }
+        if (faulted) h.recent_faults.push_back(stage);
+        while (!h.recent_faults.empty() &&
+               h.recent_faults.front() <=
+                   stage - config_.quarantine.window_stages)
+            h.recent_faults.pop_front();
+
+        if (!h.quarantined) {
+            if (static_cast<int>(h.recent_faults.size()) >=
+                config_.quarantine.crash_threshold) {
+                h.quarantined = true;
+                h.healthy_streak = 0;
+                decisions.newly_quarantined.push_back(
+                    static_cast<int>(i));
+            }
+        } else {
+            h.healthy_streak = faulted ? 0 : h.healthy_streak + 1;
+            if (h.healthy_streak >= config_.quarantine.readmit_after) {
+                h.quarantined = false;
+                h.healthy_streak = 0;
+                h.recent_faults.clear();
+                decisions.readmitted.push_back(static_cast<int>(i));
+            }
+        }
+    }
+
+    // 2. Judge a pending canary: the canaries (new model) against the
+    // non-quarantined controls (baseline model) on this stage's data.
+    // With no surviving control, fall back to the recorded pre-update
+    // baseline. With no surviving canary the judgment defers to the
+    // next stage.
+    if (canary_.pending) {
+        double canary_acc = 0, canary_flag = 0;
+        double control_acc = 0, control_flag = 0;
+        int canaries = 0, controls = 0;
+        for (size_t i = 0; i < health_.size(); ++i) {
+            if (!observed_[i] || !observations_[i].has_accuracy)
+                continue;
+            if (is_canary(i)) {
+                canary_acc += observations_[i].accuracy;
+                canary_flag += observations_[i].flag_rate;
+                ++canaries;
+            } else if (!health_[i].quarantined) {
+                control_acc += observations_[i].accuracy;
+                control_flag += observations_[i].flag_rate;
+                ++controls;
+            }
+        }
+        if (canaries > 0) {
+            canary_acc /= canaries;
+            canary_flag /= canaries;
+            const double base_acc = controls > 0
+                                        ? control_acc / controls
+                                        : canary_.baseline_accuracy;
+            const double base_flag = controls > 0
+                                         ? control_flag / controls
+                                         : canary_.baseline_flag_rate;
+            decisions.canary_judged = true;
+            decisions.canary_version = canary_.accepted_version;
+            const bool healthy =
+                canary_acc + config_.canary.accuracy_tolerance >=
+                    base_acc &&
+                canary_flag <=
+                    base_flag + config_.canary.flag_rate_tolerance;
+            if (healthy) {
+                decisions.canary_promoted = true;
+            } else {
+                decisions.canary_rolled_back = true;
+                decisions.rollback_version = canary_.baseline_version;
+            }
+            canary_ = CanaryRollout{};
+        }
+    }
+
+    std::fill(observed_.begin(), observed_.end(), 0);
+    return decisions;
+}
+
+std::vector<int>
+FleetSupervisor::pick_canaries() const
+{
+    std::vector<int> healthy;
+    for (size_t i = 0; i < health_.size(); ++i)
+        if (!health_[i].quarantined)
+            healthy.push_back(static_cast<int>(i));
+    if (healthy.size() < 2) return {}; // no control group possible
+    std::sort(healthy.begin(), healthy.end(), [this](int a, int b) {
+        const double sa = health_[static_cast<size_t>(a)].score();
+        const double sb = health_[static_cast<size_t>(b)].score();
+        if (sa != sb) return sa > sb;
+        return a < b;
+    });
+    const size_t take = std::min(
+        static_cast<size_t>(config_.canary.canary_nodes),
+        healthy.size() - 1); // keep >= 1 control
+    healthy.resize(take);
+    std::sort(healthy.begin(), healthy.end());
+    return healthy;
+}
+
+void
+FleetSupervisor::start_canary(int stage, std::vector<int> nodes,
+                              int64_t accepted_version,
+                              int64_t baseline_version,
+                              double baseline_accuracy,
+                              double baseline_flag_rate)
+{
+    INSITU_CHECK(!canary_.pending,
+                 "a canary rollout is already in flight");
+    INSITU_CHECK(!nodes.empty(), "canary subset must be non-empty");
+    canary_.pending = true;
+    canary_.started_stage = stage;
+    canary_.nodes = std::move(nodes);
+    canary_.accepted_version = accepted_version;
+    canary_.baseline_version = baseline_version;
+    canary_.baseline_accuracy = baseline_accuracy;
+    canary_.baseline_flag_rate = baseline_flag_rate;
+}
+
+} // namespace insitu

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Self-healing fleet supervision: circuit breakers, crash-loop
+ * quarantine and canary model rollout.
+ *
+ * PR 1 gave every layer a *local* defense (retransmit, checkpoint
+ * restore, the holdout gate); this module adds the *system-level*
+ * reactions a production fleet needs (the gap on-device-training
+ * surveys call out between a training loop and a deployable system):
+ *
+ * - A **CircuitBreaker** per uplink stops a node from burning radio
+ *   energy into a link that keeps eating transmissions (the flapping
+ *   adversary in `FaultPlan::flapping`): after N consecutive failed
+ *   attempts the breaker opens and the radio fast-fails until a
+ *   cooldown expires, then a half-open probe re-admits traffic.
+ * - **Health tracking + crash-loop quarantine**: per-node heartbeat /
+ *   completion / crash / flag-rate counters feed a health score; a
+ *   node that crash-loops is quarantined (uploads excluded from the
+ *   update pool, redeploys suspended) and re-admitted on sustained
+ *   health.
+ * - **Canary rollout**: a validated update deploys first to a small
+ *   healthy subset; the next stage compares the canaries' accuracy
+ *   and flag rate against the rest of the fleet (still on the
+ *   baseline) and either promotes fleet-wide or rolls the cloud back
+ *   to the registry baseline version — a second gate behind the
+ *   holdout gate.
+ *
+ * Every decision here is a pure function of serially observed state:
+ * the fleet feeds observations in node-ascending order outside its
+ * parallel regions, so a supervised chaos run replays bit-identically
+ * at any thread count (the PR 2 invariant).
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace insitu {
+
+/** Circuit-breaker state (classic three-state machine). */
+enum class BreakerState {
+    kClosed,   ///< traffic flows; failures are counted
+    kOpen,     ///< fast-fail: no attempts until the cooldown expires
+    kHalfOpen, ///< probing: limited attempts decide open vs closed
+};
+
+/** Printable name of a breaker state. */
+const char* breaker_state_name(BreakerState state);
+
+/** Knobs of one uplink's circuit breaker. */
+struct BreakerConfig {
+    /// Consecutive failed transmission attempts that open the breaker.
+    int failure_threshold = 3;
+    /// Seconds the breaker stays open before a half-open probe.
+    double cooldown_s = 8.0;
+    /// Half-open successes required to close again.
+    int probe_successes = 2;
+};
+
+/**
+ * Per-uplink circuit breaker. The UplinkQueue consults it once per
+ * transmission attempt during `drain_window` (serial, replay-ordered):
+ * `allow_attempt` gates the attempt, `on_success` / `on_failure`
+ * report its outcome. All transitions are pure functions of the
+ * simulation clock, so breaker behavior is deterministic.
+ */
+class CircuitBreaker {
+  public:
+    explicit CircuitBreaker(BreakerConfig config);
+
+    BreakerState state() const { return state_; }
+    const BreakerConfig& config() const { return config_; }
+
+    /**
+     * May the radio attempt a transmission at time @p now_s?
+     * An open breaker whose cooldown has expired transitions to
+     * half-open (and admits the attempt as a probe).
+     */
+    bool allow_attempt(double now_s);
+
+    /** Report a delivered (acked) attempt at @p now_s. */
+    void on_success(double now_s);
+
+    /** Report a failed (lost/corrupted/flapped) attempt at @p now_s. */
+    void on_failure(double now_s);
+
+    /** Earliest time an open breaker admits a half-open probe. */
+    double retry_at() const { return retry_at_; }
+
+    int64_t opens() const { return opens_; }   ///< ->open transitions
+    int64_t closes() const { return closes_; } ///< ->closed transitions
+    int64_t probes() const { return probes_; } ///< half-open attempts
+
+  private:
+    void open(double now_s);
+
+    BreakerConfig config_;
+    BreakerState state_ = BreakerState::kClosed;
+    int consecutive_failures_ = 0;
+    int half_open_successes_ = 0;
+    double retry_at_ = 0;
+    int64_t opens_ = 0;
+    int64_t closes_ = 0;
+    int64_t probes_ = 0;
+};
+
+/** Knobs of the crash-loop quarantine state machine. */
+struct QuarantineConfig {
+    /// Crash/restore-failure events within `window_stages` that
+    /// quarantine a node.
+    int crash_threshold = 2;
+    /// Sliding stage window the threshold is evaluated over.
+    int window_stages = 3;
+    /// Consecutive fault-free stages a quarantined node must show
+    /// before it is re-admitted.
+    int readmit_after = 2;
+};
+
+/** Knobs of the canary rollout protocol. */
+struct CanaryConfig {
+    /// Nodes a validated update deploys to first (capped so at least
+    /// one healthy control node remains).
+    int canary_nodes = 1;
+    /// Canary mean accuracy may lag the control group by this much
+    /// and still promote.
+    double accuracy_tolerance = 0.05;
+    /// Canary mean flag rate may exceed the control group's by this
+    /// much and still promote.
+    double flag_rate_tolerance = 0.15;
+};
+
+/** Configuration of the whole supervision layer. */
+struct SupervisorConfig {
+    BreakerConfig breaker;
+    QuarantineConfig quarantine;
+    CanaryConfig canary;
+    /// Canary rollout can be disabled independently (breakers and
+    /// quarantine stay active); updates then deploy fleet-wide as
+    /// before.
+    bool canary_enabled = true;
+
+    /** Fatal-checks internal consistency; returns *this. */
+    const SupervisorConfig& validated() const;
+};
+
+/** Rolling health record of one node. */
+struct NodeHealth {
+    int64_t stages_seen = 0;      ///< observed stages (heartbeats)
+    int64_t stages_completed = 0; ///< stages finished without a fault
+    int64_t crashes = 0;          ///< lifetime crash events
+    int64_t restore_failures = 0; ///< lifetime failed reboots
+    double last_flag_rate = 0;    ///< most recent diagnosis flag rate
+    double last_accuracy = 0;     ///< most recent pre-update accuracy
+    bool quarantined = false;
+    int healthy_streak = 0;       ///< fault-free stages while quarantined
+    /// Stage indices of faults inside the sliding quarantine window.
+    std::deque<int> recent_faults;
+
+    /**
+     * Composite health in (0, 1]: completion ratio shrunk by faults
+     * still inside the window. Used to order canary candidates.
+     */
+    double score() const;
+};
+
+/** What the fleet observed about one node during one stage. */
+struct NodeStageObservation {
+    bool crashed = false;
+    bool restore_failed = false;
+    double flag_rate = 0;
+    double accuracy = 0;     ///< pre-update accuracy on stage data
+    bool has_accuracy = false; ///< false for crashed nodes
+};
+
+/** One in-flight canary rollout. */
+struct CanaryRollout {
+    bool pending = false;
+    int started_stage = -1;
+    std::vector<int> nodes;       ///< the canary subset
+    int64_t accepted_version = 0; ///< registry id under evaluation
+    int64_t baseline_version = 0; ///< registry id to roll back to
+    double baseline_accuracy = 0; ///< pre-update fleet mean accuracy
+    double baseline_flag_rate = 0;///< pre-update fleet mean flag rate
+};
+
+/** Decisions the supervisor made when a stage's observations closed. */
+struct SupervisorStageDecisions {
+    std::vector<int> newly_quarantined;
+    std::vector<int> readmitted;
+    bool canary_judged = false;     ///< a pending canary was resolved
+    bool canary_promoted = false;   ///< ...and promoted fleet-wide
+    bool canary_rolled_back = false;///< ...or rolled back
+    int64_t canary_version = 0;     ///< the judged registry version
+    int64_t rollback_version = 0;   ///< restore target on rollback
+};
+
+/**
+ * The fleet's supervision brain. Owns one CircuitBreaker per node
+ * (wired into the node's UplinkQueue by FleetSim), the per-node
+ * health/quarantine state machines, and the pending canary rollout.
+ *
+ * Protocol per stage, all calls serial and node-ascending:
+ *   1. `observe(node, obs)` for every node;
+ *   2. `end_stage(stage)` — applies quarantine transitions, judges a
+ *      pending canary against this stage's observations, and returns
+ *      the decisions for the fleet to act on;
+ *   3. after a validated update, `pick_canaries()` +
+ *      `start_canary(...)` if a staged rollout should begin.
+ */
+class FleetSupervisor {
+  public:
+    FleetSupervisor(SupervisorConfig config, size_t num_nodes);
+
+    size_t size() const { return health_.size(); }
+    const SupervisorConfig& config() const { return config_; }
+
+    CircuitBreaker& breaker(size_t node);
+    const CircuitBreaker& breaker(size_t node) const;
+
+    const NodeHealth& health(size_t node) const;
+    bool quarantined(size_t node) const;
+
+    bool canary_pending() const { return canary_.pending; }
+    const CanaryRollout& canary() const { return canary_; }
+    bool is_canary(size_t node) const;
+
+    /** Record one node's stage outcome (serial, node-ascending). */
+    void observe(size_t node, const NodeStageObservation& obs);
+
+    /**
+     * Close the stage: fold observations into health, fire
+     * quarantine/readmit transitions, judge a pending canary (using
+     * the canaries' observations against the non-canary controls',
+     * falling back to the recorded pre-update baseline when no
+     * control participated). Clears the observation buffer.
+     */
+    SupervisorStageDecisions end_stage(int stage);
+
+    /**
+     * The canary subset a new rollout would use: healthiest
+     * non-quarantined nodes first (score desc, index asc), capped so
+     * at least one healthy control remains. Empty when fewer than two
+     * healthy nodes exist (no control group — deploy fleet-wide).
+     */
+    std::vector<int> pick_canaries() const;
+
+    /** Begin a staged rollout of @p accepted_version. */
+    void start_canary(int stage, std::vector<int> nodes,
+                      int64_t accepted_version,
+                      int64_t baseline_version,
+                      double baseline_accuracy,
+                      double baseline_flag_rate);
+
+  private:
+    SupervisorConfig config_;
+    std::vector<CircuitBreaker> breakers_;
+    std::vector<NodeHealth> health_;
+    std::vector<NodeStageObservation> observations_;
+    std::vector<char> observed_;
+    CanaryRollout canary_;
+};
+
+} // namespace insitu

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "faults/fault_injector.h"
+#include "iot/supervisor.h"
 #include "util/logging.h"
 
 namespace insitu {
@@ -92,17 +93,36 @@ UplinkQueue::drain_window(double from_s, double to_s)
             stats_.outage_wait_s += std::min(up, to_s) - clock;
             clock = up;
         }
+        // An open breaker fast-fails: no attempt, no energy, until
+        // its cooldown admits a half-open probe.
+        if (breaker_ && !breaker_->allow_attempt(clock)) {
+            const double resume = breaker_->retry_at();
+            if (resume + per_payload_s > to_s) {
+                stats_.breaker_open_wait_s += to_s - clock;
+                break;
+            }
+            stats_.breaker_open_wait_s += resume - clock;
+            clock = resume;
+            continue;
+        }
         if (clock + per_payload_s > to_s) break;
 
         const Payload& front = pending_.front();
+        const double attempt_s = clock; // transmission start
         clock += per_payload_s;
         stats_.energy_j += link_.transfer_energy(payload_bytes_);
 
-        // Transmission attempt: the payload may vanish (no ack) or
-        // arrive bit-flipped; the receiver recomputes the checksum
-        // over what it got and NACKs on mismatch.
+        // Transmission attempt: a flapping burst may eat it, the
+        // payload may vanish (no ack) or arrive bit-flipped; the
+        // receiver recomputes the checksum over what it got and NACKs
+        // on mismatch. A flap is a pure function of the clock and
+        // consumes no injector draw, so plans without flapping
+        // windows replay exactly as before.
         bool acked = true;
-        if (injector_ && injector_->drop_payload()) {
+        if (injector_ && injector_->transmission_flapped(attempt_s)) {
+            acked = false;
+            ++stats_.lost_in_flight;
+        } else if (injector_ && injector_->drop_payload()) {
             acked = false;
             ++stats_.lost_in_flight;
         } else if (injector_ && injector_->corrupt_payload()) {
@@ -120,15 +140,32 @@ UplinkQueue::drain_window(double from_s, double to_s)
             ++delivered;
             pending_.pop_front();
             backoff = config_.backoff_base_s;
+            if (breaker_) breaker_->on_success(clock);
         } else {
-            // Exponential backoff before the retransmit; the payload
-            // stays at the head of the queue.
             ++stats_.retransmits;
-            clock += backoff;
-            backoff = std::min(backoff * 2.0, config_.backoff_max_s);
+            if (breaker_) breaker_->on_failure(clock);
+            if (breaker_ &&
+                breaker_->state() == BreakerState::kOpen) {
+                // The breaker took over pacing: no backoff sleep (the
+                // open cooldown replaces it), and backoff restarts
+                // fresh once traffic is re-admitted.
+                backoff = config_.backoff_base_s;
+            } else {
+                // Exponential backoff before the retransmit; the
+                // payload stays at the head of the queue.
+                clock += backoff;
+                backoff =
+                    std::min(backoff * 2.0, config_.backoff_max_s);
+            }
         }
     }
     stats_.delivered += delivered;
+    if (breaker_) {
+        stats_.breaker_opens = breaker_->opens();
+        stats_.breaker_closes = breaker_->closes();
+        stats_.breaker_probes = breaker_->probes();
+        stats_.breaker_state = static_cast<int>(breaker_->state());
+    }
     return delivered;
 }
 

@@ -14,6 +14,13 @@
  * windows (from an attached FaultInjector) delay but never lose data.
  * The only way a payload dies is the bounded backlog's drop-oldest
  * eviction — and that is counted in UplinkStats.
+ *
+ * An optional CircuitBreaker (attached by the fleet supervisor, see
+ * iot/supervisor.h) additionally gates every transmission attempt:
+ * after repeated failures it opens and the radio fast-fails — burning
+ * no energy — until a cooldown expires and a half-open probe
+ * re-admits traffic. Breaker state and transitions are mirrored into
+ * UplinkStats.
  */
 #pragma once
 
@@ -24,6 +31,7 @@
 
 namespace insitu {
 
+class CircuitBreaker;
 class FaultInjector;
 
 /** Reliability/bounding knobs of one uplink. */
@@ -49,8 +57,18 @@ struct UplinkStats {
     int64_t dropped = 0;        ///< evicted by the bounded backlog
     int64_t corrupted = 0;      ///< checksum mismatches detected
     int64_t lost_in_flight = 0; ///< transmissions that got no ack
+                                ///< (vanished or eaten by a flap)
     int64_t retransmits = 0;    ///< extra attempts after a failure
     double outage_wait_s = 0;   ///< time spent waiting out outages
+
+    // Circuit-breaker mirror (zero without an attached breaker):
+    int64_t breaker_opens = 0;   ///< closed/half-open -> open
+    int64_t breaker_closes = 0;  ///< half-open -> closed
+    int64_t breaker_probes = 0;  ///< half-open attempts
+    double breaker_open_wait_s = 0; ///< window time fast-failed while
+                                    ///< open (no energy burnt)
+    int breaker_state = 0;       ///< BreakerState after the last drain
+                                 ///< (0 closed, 1 open, 2 half-open)
 
     /** Mean seconds an image waited from enqueue to delivery. */
     double
@@ -86,6 +104,13 @@ class UplinkQueue {
     {
         injector_ = injector;
     }
+
+    /**
+     * Attach (or detach, with nullptr) a circuit breaker. Not owned;
+     * must outlive the queue. Without one every attempt is admitted
+     * (the pre-supervision behavior).
+     */
+    void set_breaker(CircuitBreaker* breaker) { breaker_ = breaker; }
 
     /**
      * Queue @p images at simulation time @p now_s.
@@ -137,6 +162,7 @@ class UplinkQueue {
     std::deque<Payload> pending_; ///< FIFO
     UplinkStats stats_;
     FaultInjector* injector_ = nullptr; ///< not owned
+    CircuitBreaker* breaker_ = nullptr; ///< not owned
     uint64_t next_seq_ = 0;
 };
 

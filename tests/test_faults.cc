@@ -41,6 +41,57 @@ TEST(FaultPlan, PureQueriesAndEmptiness)
     EXPECT_FALSE(plan.poisoned_at(2));
 }
 
+TEST(FaultPlan, FlappingWindowsCycleInsideTheirRange)
+{
+    FaultPlan plan;
+    EXPECT_TRUE(plan.empty());
+    plan.flapping = {{10.0, 50.0, 10.0, 4.0}};
+    EXPECT_FALSE(plan.empty()); // flapping alone makes a plan real
+    plan.validated();
+
+    // Before/after the window the link never flaps.
+    EXPECT_FALSE(plan.flapping_down(9.9));
+    EXPECT_FALSE(plan.flapping_down(50.0));
+    // Inside: down for the first 4 s of every 10 s cycle.
+    EXPECT_TRUE(plan.flapping_down(10.0));
+    EXPECT_TRUE(plan.flapping_down(13.9));
+    EXPECT_FALSE(plan.flapping_down(14.0));
+    EXPECT_FALSE(plan.flapping_down(19.9));
+    EXPECT_TRUE(plan.flapping_down(20.0));
+    EXPECT_TRUE(plan.flapping_down(43.0));
+    EXPECT_FALSE(plan.flapping_down(45.0));
+    // A flap is not an outage: the radio cannot see it coming.
+    EXPECT_FALSE(plan.link_down(12.0));
+
+    EXPECT_STREQ(fault_kind_name(FaultKind::kFlappingLink),
+                 "flapping-link");
+    EXPECT_STREQ(fault_kind_name(FaultKind::kOutage), "outage");
+}
+
+TEST(FaultInjector, FlappingIsPureButLogged)
+{
+    FaultPlan plan;
+    plan.flapping = {{0.0, 100.0, 10.0, 4.0}};
+    plan.payload_loss_prob = 0.3;
+    plan.seed = 5;
+    FaultInjector with_flaps(plan);
+    FaultInjector control(plan);
+
+    // Flap queries consume no draw from the injector stream: the
+    // Bernoulli sequence must stay aligned with a control injector
+    // that never asks. (This is what keeps pre-flapping plans
+    // replaying bit-identically.)
+    for (int i = 0; i < 100; ++i) {
+        const double t = static_cast<double>(i);
+        EXPECT_EQ(with_flaps.transmission_flapped(t),
+                  plan.flapping_down(t));
+        EXPECT_EQ(with_flaps.drop_payload(), control.drop_payload());
+    }
+    // ...but every eaten attempt is logged.
+    EXPECT_EQ(with_flaps.log().flapping_failures, 40);
+    EXPECT_EQ(control.log().flapping_failures, 0);
+}
+
 TEST(FaultInjector, SameSeedSameDraws)
 {
     FaultPlan plan;
@@ -107,6 +158,55 @@ TEST(UplinkQueue, ChecksummedRetransmitsDeliverEverything)
                   queue.stats().corrupted);
 }
 
+TEST(UplinkQueue, BackoffIsClampedAtItsCeiling)
+{
+    // A black-hole link (every payload vanishes) exposes the whole
+    // backoff ladder: 0.5 s, 1 s, then clamped at 2 s forever.
+    FaultPlan plan;
+    plan.payload_loss_prob = 1.0;
+    FaultInjector injector(plan);
+
+    LinkSpec link = lan_uplink_spec();
+    link.bandwidth_bps = 8000.0; // 1 s per 1000-byte payload
+    UplinkConfig config;
+    config.backoff_base_s = 0.5;
+    config.backoff_max_s = 2.0;
+    UplinkQueue queue(link, 1000.0, config);
+    queue.set_fault_injector(&injector);
+    queue.enqueue(1, 0.0);
+
+    // Attempts start at t = 0, 1.5, 3.5, then — the clamp — every
+    // 3 s (1 s transmit + 2 s backoff) through 57.5: 21 attempts fit
+    // the [0, 60) window. An unclamped ladder would fit only 7.
+    EXPECT_EQ(queue.drain_window(0.0, 60.0), 0);
+    EXPECT_EQ(queue.stats().retransmits, 21);
+    EXPECT_EQ(queue.stats().lost_in_flight, 21);
+    EXPECT_EQ(queue.backlog(), 1); // still queued, never dropped
+    EXPECT_DOUBLE_EQ(queue.stats().energy_j,
+                     21 * link.transfer_energy(1000.0));
+}
+
+TEST(UplinkQueue, DeliveryAfterAnOutageAccruesOutageWait)
+{
+    // A payload that sat through a mid-window outage accrues the
+    // whole wait in outage_wait_s and still delivers.
+    FaultPlan plan;
+    plan.outages = {{2.0, 30.0}};
+    FaultInjector injector(plan);
+
+    LinkSpec link = lan_uplink_spec();
+    link.bandwidth_bps = 8000.0; // 1 s per payload
+    UplinkQueue queue(link, 1000.0);
+    queue.set_fault_injector(&injector);
+    queue.enqueue(3, 0.0);
+    // Two payloads fit before the outage; the third waits it out.
+    EXPECT_EQ(queue.drain_window(0.0, 40.0), 3);
+    EXPECT_DOUBLE_EQ(queue.stats().outage_wait_s, 28.0);
+    // Delays: 1 + 2 + 31 (the third delivered at t = 31).
+    EXPECT_DOUBLE_EQ(queue.stats().total_delay_s, 34.0);
+    EXPECT_EQ(queue.stats().retransmits, 0);
+}
+
 TEST(UplinkQueue, BoundedBacklogDropsOldestWithoutFaults)
 {
     UplinkConfig config;
@@ -170,6 +270,56 @@ TEST(NodeCheckpoint, CrashRestoreRoundTripsDeployedModel)
             ASSERT_EQ(got[p]->value().at(i), want[p]->value().at(i));
 
     EXPECT_FALSE(node.restore(NodeCheckpoint{}));
+}
+
+TEST(NodeCheckpoint, RestoreIsAllOrNothingPerBlob)
+{
+    TinyConfig tiny;
+    tiny.num_permutations = 8;
+    ModelUpdateService cloud(tiny, titan_x_spec(), 3);
+    InsituNode node(tiny, cloud.permutations(), 3, DiagnosisConfig{},
+                    17);
+    node.deploy_diagnosis(cloud.jigsaw());
+    node.deploy_inference(cloud.inference());
+    const NodeCheckpoint good = node.checkpoint();
+
+    auto snapshot = [&node] {
+        std::vector<std::vector<float>> all;
+        auto grab = [&all](const Network& net) {
+            for (const auto& p : net.params()) {
+                std::vector<float> v;
+                for (int64_t i = 0; i < p->numel(); ++i)
+                    v.push_back(p->value().at(i));
+                all.push_back(std::move(v));
+            }
+        };
+        grab(node.inference().network());
+        grab(node.diagnosis().network().trunk());
+        grab(node.diagnosis().network().head());
+        return all;
+    };
+    const auto before = snapshot();
+
+    // Corrupt each blob in turn: restore must refuse the whole
+    // checkpoint and leave every network — including the ones whose
+    // blobs were fine — exactly as it was.
+    for (int blob = 0; blob < 3; ++blob) {
+        NodeCheckpoint bad = good;
+        std::string& target =
+            blob == 0   ? bad.trunk_blob
+            : blob == 1 ? bad.head_blob
+                        : bad.inference_blob;
+        target.resize(target.size() / 2); // truncated mid-weights
+        EXPECT_FALSE(node.restore(bad)) << "blob " << blob;
+        const auto after = snapshot();
+        ASSERT_EQ(before.size(), after.size());
+        for (size_t p = 0; p < before.size(); ++p)
+            for (size_t i = 0; i < before[p].size(); ++i)
+                ASSERT_EQ(before[p][i], after[p][i])
+                    << "blob " << blob << " param " << p;
+    }
+    // The untouched checkpoint still restores cleanly.
+    EXPECT_TRUE(node.restore(good));
 }
 
 TEST(ValidationGate, RollsBackRegressingUpdate)
