@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Telemetry cross-check of Fig. 12: derive the CONV vs FCN runtime
+ * breakdown from the per-layer-kind timing histograms
+ * (`nn.forward.<kind>.time_s`) recorded during *real* forward passes,
+ * instead of the analytical device model bench_fig12 uses — the two
+ * should agree on the shape (FCN share shrinks as batching amortizes
+ * the FCN weights). Also bounds the instrumentation overhead on the
+ * conv hot path by timing the same forwards with tracing on vs off
+ * (results/fig12_breakdown_from_telemetry.md records the numbers).
+ */
+#include <chrono>
+#include <cstdio>
+
+#include "exp_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+using namespace insitu;
+using namespace insitu::bench;
+
+namespace {
+
+double
+kind_seconds(const obs::MetricsSnapshot& snap, const std::string& kind)
+{
+    const auto* m = snap.find("nn.forward." + kind + ".time_s");
+    return m != nullptr ? m->value : 0.0;
+}
+
+double
+forward_seconds(const obs::MetricsSnapshot& snap)
+{
+    double total = 0.0;
+    for (const auto& m : snap.metrics) {
+        if (m.name.rfind("nn.forward.", 0) == 0 &&
+            m.name.size() > 7 &&
+            m.name.compare(m.name.size() - 7, 7, ".time_s") == 0)
+            total += m.value;
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Telemetry", "span-derived runtime breakdown (TinyNet)",
+           "FCN share of runtime shrinks with batch (Fig. 12 shape), "
+           "measured from telemetry histograms");
+
+    TrainScale scale;
+    Rng rng(scale.seed);
+    SynthConfig synth;
+    TinyConfig config;
+    const Dataset data =
+        make_dataset(synth, 64, Condition::in_situ(0.2), rng);
+    Rng net_rng(scale.seed + 1);
+    Network net = make_tiny_inference(config, net_rng);
+
+    // Part 1: breakdown by batch size, from the per-kind histograms.
+    TablePrinter table({"batch", "conv %", "fcn %", "other %"});
+    double fcn_small = 0, fcn_large = 0;
+    for (const int64_t b : {int64_t{1}, int64_t{4}, int64_t{16},
+                            int64_t{64}}) {
+        const Tensor batch = data.images.slice0(0, b);
+        net.forward(batch, false); // warm caches before measuring
+        obs::MetricsRegistry::global().reset();
+        const int reps = static_cast<int>(256 / b);
+        for (int r = 0; r < reps; ++r) net.forward(batch, false);
+        const auto snap = obs::MetricsRegistry::global().snapshot();
+        const double conv = kind_seconds(snap, "conv");
+        const double fcn = kind_seconds(snap, "linear");
+        const double total = forward_seconds(snap);
+        const double conv_share = total > 0 ? conv / total : 0;
+        const double fcn_share = total > 0 ? fcn / total : 0;
+        if (b == 1) fcn_small = fcn_share;
+        if (b == 64) fcn_large = fcn_share;
+        table.add_row(
+            {std::to_string(b), TablePrinter::num(100 * conv_share, 1),
+             TablePrinter::num(100 * fcn_share, 1),
+             TablePrinter::num(
+                 100 * (1 - conv_share - fcn_share), 1)});
+    }
+    std::printf("%s", table.to_string().c_str());
+    maybe_write_csv("telemetry_breakdown", table);
+
+    // Part 2: instrumentation overhead on the conv hot path — the
+    // same forwards, tracing off vs on (counters/histograms are
+    // always on; spans are the switchable part).
+    const Tensor batch = data.images.slice0(0, 16);
+    auto time_forwards = [&](int reps) {
+        net.forward(batch, false); // warm
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int r = 0; r < reps; ++r) net.forward(batch, false);
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count() /
+               reps;
+    };
+    constexpr int kReps = 24;
+    const double off_s = time_forwards(kReps);
+    obs::TraceRecorder::global().set_enabled(true);
+    const double on_s = time_forwards(kReps);
+    obs::TraceRecorder::global().set_enabled(false);
+    obs::TraceRecorder::global().clear();
+    const double overhead_pct =
+        off_s > 0 ? 100.0 * (on_s - off_s) / off_s : 0.0;
+    std::printf("forward @ batch 16: %.3f ms untraced, %.3f ms "
+                "traced (%+.2f%% overhead)\n",
+                1e3 * off_s, 1e3 * on_s, overhead_pct);
+
+    verdict(fcn_large < fcn_small && overhead_pct < 5.0,
+            "telemetry-derived FCN share shrinks with batch and span "
+            "overhead stays in the noise");
+    return 0;
+}

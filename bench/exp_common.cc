@@ -3,16 +3,88 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "nn/optimizer.h"
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "util/csv.h"
 
 namespace insitu::bench {
+
+namespace {
+
+std::string g_bench_id; ///< sanitized id of the running bench
+
+/// Wall time of the first banner() call, so the exit hook can record
+/// the whole run as a stage — every bench then carries at least one
+/// timing metric, including the purely analytical ones.
+std::chrono::steady_clock::time_point g_bench_start;
+
+std::string
+sanitize(const std::string& id)
+{
+    std::string out;
+    out.reserve(id.size());
+    for (const char c : id) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' ||
+                        c == '-' || c == '.';
+        out += ok ? c : '_';
+    }
+    return out.empty() ? std::string("bench") : out;
+}
+
+/// atexit hook: every bench binary gets a machine-readable
+/// BENCH_<id>.json (metrics snapshot + environment block) without
+/// per-bench code — banner() is the only touch point.
+void
+write_bench_json()
+{
+    if (g_bench_id.empty()) return;
+    obs::MetricsRegistry::global()
+        .histogram("bench.stage.total.wall_s")
+        .observe(std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - g_bench_start)
+                     .count());
+    const char* dir = std::getenv("INSITU_BENCH_JSON_DIR");
+    const std::string path =
+        (dir != nullptr && *dir != '\0' ? std::string(dir) + "/"
+                                        : std::string()) +
+        "BENCH_" + g_bench_id + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "[warn] could not write %s\n",
+                     path.c_str());
+        return;
+    }
+    out << "{\n  \"bench\": \""
+        << obs::json_escape(g_bench_id) << "\",\n  \"environment\": ";
+    obs::export_environment_json(out);
+    out << ",\n  \"metrics\": ";
+    obs::export_metrics_json(out, obs::MetricsRegistry::global());
+    out << "\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
+} // namespace
 
 void
 banner(const std::string& id, const std::string& title,
        const std::string& paper_claim)
 {
+    if (g_bench_id.empty()) {
+        // Touch the telemetry singletons before registering the
+        // atexit hook: they are function-local statics, so being
+        // constructed first guarantees they outlive the hook.
+        obs::MetricsRegistry::global();
+        obs::TelemetryClock::global();
+        g_bench_start = std::chrono::steady_clock::now();
+        std::atexit(write_bench_json);
+    }
+    g_bench_id = sanitize(id);
     std::printf("==============================================\n");
     std::printf("%s — %s\n", id.c_str(), title.c_str());
     std::printf("paper: %s\n", paper_claim.c_str());
@@ -57,13 +129,26 @@ fit(Network& net, const Dataset& data, const TrainScale& scale,
                  epochs_override >= 0 ? epochs_override : scale.epochs,
                  rng);
     const auto t1 = std::chrono::steady_clock::now();
-    return std::chrono::duration<double>(t1 - t0).count();
+    const double wall =
+        std::chrono::duration<double>(t1 - t0).count();
+    static auto& fit_time = obs::MetricsRegistry::global().histogram(
+        "bench.stage.fit.wall_s");
+    fit_time.observe(wall);
+    return wall;
 }
 
 double
 accuracy(Network& net, const Dataset& data)
 {
-    return evaluate_accuracy(net, data.images, data.labels);
+    const auto t0 = std::chrono::steady_clock::now();
+    const double acc =
+        evaluate_accuracy(net, data.images, data.labels);
+    static auto& eval_time = obs::MetricsRegistry::global().histogram(
+        "bench.stage.eval.wall_s");
+    eval_time.observe(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+    return acc;
 }
 
 double
@@ -71,6 +156,10 @@ pretrain_jigsaw(JigsawNetwork& jigsaw, const PermutationSet& perms,
                 const Tensor& raw, int epochs, Rng& rng)
 {
     Sgd opt({.lr = 0.015, .momentum = 0.9});
+    const auto t0 = std::chrono::steady_clock::now();
+    static auto& pretrain_time =
+        obs::MetricsRegistry::global().histogram(
+            "bench.stage.pretrain.wall_s");
     const int64_t n = raw.dim(0);
     const int64_t batch = 16;
     for (int e = 0; e < epochs; ++e) {
@@ -81,6 +170,9 @@ pretrain_jigsaw(JigsawNetwork& jigsaw, const PermutationSet& perms,
             jigsaw.train_batch(opt, jb);
         }
     }
+    pretrain_time.observe(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
     Rng eval_rng(7);
     return jigsaw.evaluate(raw, perms, eval_rng);
 }

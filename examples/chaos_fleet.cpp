@@ -19,10 +19,14 @@
  * scenario — supervision decisions included — is deterministic.
  */
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "iot/fleet.h"
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 
 using namespace insitu;
 
@@ -175,6 +179,20 @@ run_scenario(bool supervised, bool print)
 int
 main()
 {
+    // INSITU_TELEMETRY_JSONL=<path> turns on full telemetry for the
+    // whole scenario: the clock switches to simulated time (stamped by
+    // FleetSim's stage windows) and spans are recorded, so the
+    // exported file is a pure function of the scenario — byte-
+    // identical at any INSITU_THREADS (pinned by scripts/check_obs.sh).
+    const char* telemetry_path =
+        std::getenv("INSITU_TELEMETRY_JSONL");
+    const bool telemetry =
+        telemetry_path != nullptr && *telemetry_path != '\0';
+    if (telemetry) {
+        obs::TelemetryClock::global().enable_simulated(0.0);
+        obs::TraceRecorder::global().set_enabled(true);
+    }
+
     std::printf("== chaos fleet: flapping link, crash-looping node, "
                 "poisoned update (gate disabled) ==\n");
     std::printf("\n-- unsupervised (local defenses only) --\n");
@@ -212,5 +230,14 @@ main()
     const bool identical = supervised.lines == replay.lines;
     std::printf("replay bit-identical: %s\n",
                 identical ? "yes" : "NO (determinism broken)");
+
+    if (telemetry) {
+        if (!obs::export_jsonl_file(telemetry_path)) {
+            std::printf("telemetry export FAILED: %s\n",
+                        telemetry_path);
+            return 1;
+        }
+        std::printf("telemetry written to %s\n", telemetry_path);
+    }
     return identical ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "analytics/planner.h"
+#include "util/logging.h"
 
 using namespace insitu;
 
@@ -37,10 +38,7 @@ main(int argc, char** argv)
     const double latency_s =
         (argc > 2 ? std::atof(argv[2]) : 100.0) / 1e3;
     const bool always_on = argc > 3 && std::atoi(argv[3]) != 0;
-    if (latency_s <= 0) {
-        std::fprintf(stderr, "latency must be positive\n");
-        return 1;
-    }
+    if (latency_s <= 0) fatal("latency must be positive");
 
     const NetworkDesc net = pick_network(net_name);
     const NetworkDesc diag = diagnosis_desc(net);

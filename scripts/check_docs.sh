@@ -5,6 +5,8 @@
 #    results/ must resolve to an existing file.
 # 2. Every bench binary (bench/bench_*.cc) must be documented in
 #    docs/performance.md.
+# 3. docs/observability.md must document every instrumented metric
+#    namespace, so new instrumentation can't land undocumented.
 set -u
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -61,8 +63,26 @@ else
     done
 fi
 
+# --- 3. metric namespaces documented in docs/observability.md ------
+obs="$root/docs/observability.md"
+if [ ! -f "$obs" ]; then
+    note "missing docs/observability.md"
+    fail=1
+else
+    # One entry per instrumented subsystem plus the knobs users need.
+    for needle in 'tensor.' 'nn.forward' 'nn.backward' 'iot.uplink' \
+            'iot.fleet' 'iot.breaker' 'iot.supervisor' \
+            'faults.injected' 'cloud.' 'parallel.' 'bench.' \
+            'INSITU_TELEMETRY_JSONL' 'wall_s'; do
+        if ! grep -qF "$needle" "$obs"; then
+            note "docs/observability.md does not mention $needle"
+            fail=1
+        fi
+    done
+fi
+
 if [ "$fail" -ne 0 ]; then
     note "check_docs: FAILED"
     exit 1
 fi
-note "check_docs: OK ($checked links, all bench binaries documented)"
+note "check_docs: OK ($checked links, bench + telemetry docs complete)"

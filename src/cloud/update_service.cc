@@ -3,9 +3,21 @@
 #include <chrono>
 
 #include "nn/trainer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace insitu {
+
+namespace {
+
+obs::Counter&
+cloud_counter(const char* name)
+{
+    return obs::MetricsRegistry::global().counter(name);
+}
+
+} // namespace
 
 ModelUpdateService::ModelUpdateService(TinyConfig config,
                                        GpuSpec cloud_gpu, uint64_t seed)
@@ -20,6 +32,9 @@ ModelUpdateService::pretrain(const Tensor& images, int epochs,
                              int64_t batch_size)
 {
     INSITU_CHECK(images.rank() == 4, "pretrain expects NCHW images");
+    obs::ScopedSpan span("cloud.pretrain");
+    static auto& pretrains = cloud_counter("cloud.pretrains");
+    pretrains.add(1);
     Sgd opt({.lr = 0.015, .momentum = 0.9});
     const int64_t n = images.dim(0);
     for (int e = 0; e < epochs; ++e) {
@@ -44,6 +59,11 @@ UpdateReport
 ModelUpdateService::update(const Dataset& data,
                            const UpdatePolicy& policy)
 {
+    obs::ScopedSpan span("cloud.update");
+    static auto& updates = cloud_counter("cloud.updates");
+    static auto& images_in = cloud_counter("cloud.update.images");
+    updates.add(1);
+    images_in.add(data.size());
     UpdateReport report;
     report.images = data.size();
     images_received_ += data.size();
@@ -63,6 +83,12 @@ ModelUpdateService::update(const Dataset& data,
     report.mean_loss = stats.empty() ? 0.0 : stats.back().mean_loss;
     report.wall_seconds =
         std::chrono::duration<double>(t1 - t0).count();
+    // Deliberately the wall duration (not the telemetry clock): this
+    // histogram prices real training work even inside simulated runs,
+    // and is therefore excluded from byte-identity checks.
+    static auto& update_time = obs::MetricsRegistry::global()
+                                   .histogram("cloud.update.wall_s");
+    update_time.observe(report.wall_seconds);
     // Price the job at paper scale: the trainable suffix starts after
     // the frozen conv prefix.
     report.modeled = cost_.train_cost(
@@ -80,6 +106,9 @@ ModelUpdateService::validated_update(const Dataset& data,
     INSITU_CHECK(holdout.size() > 0,
                  "validation gate needs a holdout set");
     INSITU_CHECK(tolerance >= 0, "tolerance must be non-negative");
+    obs::ScopedSpan span("cloud.validated_update");
+    static auto& validations = cloud_counter("cloud.validations");
+    validations.add(1);
     ValidatedUpdateReport report;
     report.holdout_before = evaluate(holdout);
     report.baseline_version =
@@ -96,6 +125,11 @@ ModelUpdateService::validated_update(const Dataset& data,
             "rollback to the pre-update snapshot failed");
         report.rolled_back = true;
         report.holdout_after = report.holdout_before;
+        static auto& rollbacks = cloud_counter("cloud.rollbacks");
+        rollbacks.add(1);
+        obs::TraceRecorder::global().instant(
+            "cloud.rollback",
+            {{"version", std::to_string(report.baseline_version)}});
     } else {
         report.holdout_after = after;
         report.accepted_version = registry_.commit(
@@ -114,6 +148,11 @@ ModelUpdateService::rollback_to(int64_t version,
              std::to_string(version));
         return false;
     }
+    static auto& rollbacks = cloud_counter("cloud.rollbacks");
+    rollbacks.add(1);
+    obs::TraceRecorder::global().instant(
+        "cloud.rollback", {{"version", std::to_string(version)},
+                           {"tag", tag}});
     registry_.commit(inference_, tag, meta->validation_accuracy,
                      images_received_);
     return true;

@@ -1,6 +1,23 @@
 #include "faults/fault_injector.h"
 
+#include "obs/metrics.h"
+
 namespace insitu {
+
+namespace {
+
+/// One `faults.injected.<kind>` counter per fault kind. Counters are
+/// parallel-safe; crash draws happen during the serial pre-phase and
+/// the rest during the serial drains, but the instrument does not
+/// care either way.
+obs::Counter&
+fault_counter(const char* kind)
+{
+    return obs::MetricsRegistry::global().counter(
+        std::string("faults.injected.") + kind);
+}
+
+} // namespace
 
 FaultInjector::FaultInjector(FaultPlan plan)
     : plan_(std::move(plan)), rng_(plan_.seed)
@@ -12,7 +29,11 @@ bool
 FaultInjector::transmission_flapped(double t)
 {
     const bool flapped = plan_.flapping_down(t);
-    if (flapped) ++log_.flapping_failures;
+    if (flapped) {
+        ++log_.flapping_failures;
+        static auto& c = fault_counter("flapping");
+        c.add(1);
+    }
     return flapped;
 }
 
@@ -20,7 +41,11 @@ bool
 FaultInjector::drop_payload()
 {
     const bool lost = rng_.bernoulli(plan_.payload_loss_prob);
-    if (lost) ++log_.payloads_lost;
+    if (lost) {
+        ++log_.payloads_lost;
+        static auto& c = fault_counter("payload_loss");
+        c.add(1);
+    }
     return lost;
 }
 
@@ -28,7 +53,11 @@ bool
 FaultInjector::corrupt_payload()
 {
     const bool corrupted = rng_.bernoulli(plan_.payload_corrupt_prob);
-    if (corrupted) ++log_.payloads_corrupted;
+    if (corrupted) {
+        ++log_.payloads_corrupted;
+        static auto& c = fault_counter("payload_corrupt");
+        c.add(1);
+    }
     return corrupted;
 }
 
@@ -36,7 +65,11 @@ bool
 FaultInjector::node_crashes(int stage, int node)
 {
     const bool crash = plan_.crashes_at(stage, node);
-    if (crash) ++log_.crashes;
+    if (crash) {
+        ++log_.crashes;
+        static auto& c = fault_counter("node_crash");
+        c.add(1);
+    }
     return crash;
 }
 
@@ -44,7 +77,11 @@ bool
 FaultInjector::update_poisoned(int stage)
 {
     const bool poisoned = plan_.poisoned_at(stage);
-    if (poisoned) ++log_.poisoned_updates;
+    if (poisoned) {
+        ++log_.poisoned_updates;
+        static auto& c = fault_counter("update_poison");
+        c.add(1);
+    }
     return poisoned;
 }
 

@@ -3,6 +3,9 @@
 #include <numeric>
 
 #include "nn/trainer.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -85,6 +88,10 @@ FleetSim::deploy_node(size_t i)
 double
 FleetSim::bootstrap(int64_t images_per_node, double base_severity)
 {
+    // No-op for wall-clock runs; in simulated mode this pins every
+    // span/instant recorded below to the fleet's own clock.
+    obs::TelemetryClock::global().set_simulated_time_s(clock_s_);
+    obs::ScopedSpan span("fleet.bootstrap");
     // Acquisition draws from the shared replay-ordered rng_, so it
     // stays serial (node-ascending) — the draw sequence is part of
     // the replay contract and must not depend on scheduling.
@@ -131,6 +138,12 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
     report.stage = stage_index_;
     const double window_from = clock_s_;
     const double window_to = clock_s_ + config_.stage_window_s;
+    obs::TelemetryClock::global().set_simulated_time_s(window_from);
+    obs::ScopedSpan span("fleet.stage", "stage",
+                         std::to_string(stage_index_));
+    static auto& stages =
+        obs::MetricsRegistry::global().counter("iot.fleet.stages");
+    stages.add(1);
 
     // Phase 1: nodes acquire, flag and hand flagged images to their
     // radios. Crashed nodes reboot instead: the uplink backlog and
@@ -414,6 +427,9 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
 
     ++stage_index_;
     clock_s_ = window_to;
+    // Advance the telemetry clock before the stage span closes so its
+    // end stamp is the window end, not the window start.
+    obs::TelemetryClock::global().set_simulated_time_s(window_to);
     return report;
 }
 

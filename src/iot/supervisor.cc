@@ -2,9 +2,21 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace insitu {
+
+namespace {
+
+obs::Counter&
+supervision_counter(const char* name)
+{
+    return obs::MetricsRegistry::global().counter(name);
+}
+
+} // namespace
 
 const char*
 breaker_state_name(BreakerState state)
@@ -35,6 +47,9 @@ CircuitBreaker::open(double now_s)
     consecutive_failures_ = 0;
     half_open_successes_ = 0;
     ++opens_;
+    static auto& opens = supervision_counter("iot.breaker.opens");
+    opens.add(1);
+    obs::TraceRecorder::global().instant_at(now_s, "breaker.open");
 }
 
 bool
@@ -45,12 +60,17 @@ CircuitBreaker::allow_attempt(double now_s)
         state_ = BreakerState::kHalfOpen;
         half_open_successes_ = 0;
     }
-    if (state_ == BreakerState::kHalfOpen) ++probes_;
+    if (state_ == BreakerState::kHalfOpen) {
+        ++probes_;
+        static auto& probes =
+            supervision_counter("iot.breaker.probes");
+        probes.add(1);
+    }
     return true;
 }
 
 void
-CircuitBreaker::on_success(double)
+CircuitBreaker::on_success(double now_s)
 {
     consecutive_failures_ = 0;
     if (state_ == BreakerState::kHalfOpen) {
@@ -58,6 +78,11 @@ CircuitBreaker::on_success(double)
             state_ = BreakerState::kClosed;
             half_open_successes_ = 0;
             ++closes_;
+            static auto& closes =
+                supervision_counter("iot.breaker.closes");
+            closes.add(1);
+            obs::TraceRecorder::global().instant_at(now_s,
+                                                    "breaker.close");
         }
     }
 }
@@ -190,6 +215,13 @@ FleetSupervisor::end_stage(int stage)
                 h.healthy_streak = 0;
                 decisions.newly_quarantined.push_back(
                     static_cast<int>(i));
+                static auto& quarantines = supervision_counter(
+                    "iot.supervisor.quarantines");
+                quarantines.add(1);
+                obs::TraceRecorder::global().instant(
+                    "supervisor.quarantine",
+                    {{"node", std::to_string(i)},
+                     {"stage", std::to_string(stage)}});
             }
         } else {
             h.healthy_streak = faulted ? 0 : h.healthy_streak + 1;
@@ -198,6 +230,13 @@ FleetSupervisor::end_stage(int stage)
                 h.healthy_streak = 0;
                 h.recent_faults.clear();
                 decisions.readmitted.push_back(static_cast<int>(i));
+                static auto& readmissions = supervision_counter(
+                    "iot.supervisor.readmissions");
+                readmissions.add(1);
+                obs::TraceRecorder::global().instant(
+                    "supervisor.readmit",
+                    {{"node", std::to_string(i)},
+                     {"stage", std::to_string(stage)}});
             }
         }
     }
@@ -242,9 +281,25 @@ FleetSupervisor::end_stage(int stage)
                     base_flag + config_.canary.flag_rate_tolerance;
             if (healthy) {
                 decisions.canary_promoted = true;
+                static auto& promotions = supervision_counter(
+                    "iot.supervisor.canary_promotions");
+                promotions.add(1);
+                obs::TraceRecorder::global().instant(
+                    "supervisor.canary.promoted",
+                    {{"version",
+                      std::to_string(canary_.accepted_version)},
+                     {"stage", std::to_string(stage)}});
             } else {
                 decisions.canary_rolled_back = true;
                 decisions.rollback_version = canary_.baseline_version;
+                static auto& rollbacks = supervision_counter(
+                    "iot.supervisor.canary_rollbacks");
+                rollbacks.add(1);
+                obs::TraceRecorder::global().instant(
+                    "supervisor.canary.rolled_back",
+                    {{"version",
+                      std::to_string(canary_.accepted_version)},
+                     {"stage", std::to_string(stage)}});
             }
             canary_ = CanaryRollout{};
         }

@@ -4,9 +4,50 @@
 
 #include "faults/fault_injector.h"
 #include "iot/supervisor.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace insitu {
+
+namespace {
+
+/// Fleet-wide uplink metrics (every queue instance feeds the same
+/// registry entries). Counters are parallel-safe — enqueue() runs
+/// inside the node-stepping phase; the drain-side doubles go into
+/// gauges because drains are folded serially in node-ascending order
+/// (deterministic FP accumulation).
+struct UplinkMetrics {
+    obs::Counter& enqueued;
+    obs::Counter& evicted;
+    obs::Counter& delivered;
+    obs::Counter& retransmits;
+    obs::Counter& corrupted;
+    obs::Counter& lost_in_flight;
+    obs::Gauge& bytes_sent;
+    obs::Gauge& energy_j;
+    obs::Gauge& outage_wait_s;
+    obs::Histogram& backoff_wait_s;
+
+    static UplinkMetrics&
+    get()
+    {
+        auto& r = obs::MetricsRegistry::global();
+        static UplinkMetrics m{
+            r.counter("iot.uplink.enqueued"),
+            r.counter("iot.uplink.evicted"),
+            r.counter("iot.uplink.delivered"),
+            r.counter("iot.uplink.retransmits"),
+            r.counter("iot.uplink.corrupted"),
+            r.counter("iot.uplink.lost_in_flight"),
+            r.gauge("iot.uplink.bytes_sent"),
+            r.gauge("iot.uplink.energy_j"),
+            r.gauge("iot.uplink.outage_wait_s"),
+            r.histogram("iot.uplink.backoff_wait_s")};
+        return m;
+    }
+};
+
+} // namespace
 
 UplinkQueue::UplinkQueue(LinkSpec link, double bytes_per_payload,
                          UplinkConfig config)
@@ -58,6 +99,8 @@ UplinkQueue::enqueue(int64_t images, double now_s)
     }
     stats_.enqueued += images;
     stats_.dropped += evicted;
+    UplinkMetrics::get().enqueued.add(images);
+    UplinkMetrics::get().evicted.add(evicted);
     stats_.max_backlog =
         std::max(stats_.max_backlog, backlog_bytes());
     return evicted;
@@ -83,6 +126,7 @@ UplinkQueue::drain_window(double from_s, double to_s)
     INSITU_CHECK(to_s >= from_s, "window must be ordered");
     const double per_payload_s =
         payload_bytes_ * 8.0 / link_.bandwidth_bps;
+    UplinkMetrics& om = UplinkMetrics::get();
     double clock = from_s;
     double backoff = config_.backoff_base_s;
     int64_t delivered = 0;
@@ -91,6 +135,7 @@ UplinkQueue::drain_window(double from_s, double to_s)
         if (injector_ && injector_->link_down(clock)) {
             const double up = injector_->outage_end(clock);
             stats_.outage_wait_s += std::min(up, to_s) - clock;
+            om.outage_wait_s.add(std::min(up, to_s) - clock);
             clock = up;
         }
         // An open breaker fast-fails: no attempt, no energy, until
@@ -111,6 +156,7 @@ UplinkQueue::drain_window(double from_s, double to_s)
         const double attempt_s = clock; // transmission start
         clock += per_payload_s;
         stats_.energy_j += link_.transfer_energy(payload_bytes_);
+        om.energy_j.add(link_.transfer_energy(payload_bytes_));
 
         // Transmission attempt: a flapping burst may eat it, the
         // payload may vanish (no ack) or arrive bit-flipped; the
@@ -122,27 +168,32 @@ UplinkQueue::drain_window(double from_s, double to_s)
         if (injector_ && injector_->transmission_flapped(attempt_s)) {
             acked = false;
             ++stats_.lost_in_flight;
+            om.lost_in_flight.add(1);
         } else if (injector_ && injector_->drop_payload()) {
             acked = false;
             ++stats_.lost_in_flight;
+            om.lost_in_flight.add(1);
         } else if (injector_ && injector_->corrupt_payload()) {
             const uint64_t wire =
                 front.checksum ^ 0x8000000000000001ULL;
             if (wire != payload_checksum(front.seq, payload_bytes_)) {
                 acked = false;
                 ++stats_.corrupted;
+                om.corrupted.add(1);
             }
         }
 
         if (acked) {
             stats_.total_delay_s += clock - front.enqueued_s;
             stats_.bytes_sent += payload_bytes_;
+            om.bytes_sent.add(payload_bytes_);
             ++delivered;
             pending_.pop_front();
             backoff = config_.backoff_base_s;
             if (breaker_) breaker_->on_success(clock);
         } else {
             ++stats_.retransmits;
+            om.retransmits.add(1);
             if (breaker_) breaker_->on_failure(clock);
             if (breaker_ &&
                 breaker_->state() == BreakerState::kOpen) {
@@ -153,6 +204,7 @@ UplinkQueue::drain_window(double from_s, double to_s)
             } else {
                 // Exponential backoff before the retransmit; the
                 // payload stays at the head of the queue.
+                om.backoff_wait_s.observe(backoff);
                 clock += backoff;
                 backoff =
                     std::min(backoff * 2.0, config_.backoff_max_s);
@@ -160,6 +212,7 @@ UplinkQueue::drain_window(double from_s, double to_s)
         }
     }
     stats_.delivered += delivered;
+    om.delivered.add(delivered);
     if (breaker_) {
         stats_.breaker_opens = breaker_->opens();
         stats_.breaker_closes = breaker_->closes();

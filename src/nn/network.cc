@@ -3,9 +3,30 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace insitu {
+
+namespace {
+
+/**
+ * Per-kind layer timing histogram, e.g. `nn.forward.conv.time_s`.
+ * In simulated-clock runs every observation is 0 s — the counts still
+ * tell how often each layer kind ran, deterministically; wall-clock
+ * runs yield the real per-kind runtime breakdown (see
+ * results/fig12_breakdown_from_telemetry.md).
+ */
+obs::Histogram&
+layer_time_histogram(const char* dir, const std::string& kind)
+{
+    return obs::MetricsRegistry::global().histogram(
+        std::string("nn.") + dir + "." + kind + ".time_s");
+}
+
+} // namespace
 
 Network&
 Network::add(LayerPtr layer)
@@ -18,8 +39,16 @@ Network::add(LayerPtr layer)
 Tensor
 Network::forward(const Tensor& input, bool training)
 {
+    obs::ScopedSpan span("nn.forward", "network", name_);
     Tensor x = input;
-    for (auto& layer : layers_) x = layer->forward(x, training);
+    for (auto& layer : layers_) {
+        obs::ScopedSpan layer_span("nn.forward.layer", "layer",
+                                   layer->name());
+        const double t0 = obs::now_s();
+        x = layer->forward(x, training);
+        layer_time_histogram("forward", layer->kind())
+            .observe(obs::now_s() - t0);
+    }
     return x;
 }
 
@@ -42,9 +71,15 @@ Network::backward(const Tensor& grad_output)
             break;
         }
     }
+    obs::ScopedSpan span("nn.backward", "network", name_);
     Tensor g = grad_output;
     for (size_t i = layers_.size(); i-- > stop;) {
+        obs::ScopedSpan layer_span("nn.backward.layer", "layer",
+                                   layers_[i]->name());
+        const double t0 = obs::now_s();
         g = layers_[i]->backward(g);
+        layer_time_histogram("backward", layers_[i]->kind())
+            .observe(obs::now_s() - t0);
     }
     return g;
 }

@@ -1,0 +1,69 @@
+#include "obs/clock.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace insitu::obs {
+
+struct TelemetryClock::Impl {
+    std::atomic<bool> simulated{false};
+    /// Simulation seconds, stored as bits so reads and the serial
+    /// writer stay race-free under TSan (atomic<double> is lock-free
+    /// on the targets we care about; bit-casting keeps it portable).
+    std::atomic<double> sim_time_s{0.0};
+    std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+};
+
+TelemetryClock::TelemetryClock() : impl_(new Impl) {}
+
+TelemetryClock&
+TelemetryClock::global()
+{
+    static TelemetryClock clock;
+    return clock;
+}
+
+double
+TelemetryClock::now_s() const
+{
+    if (impl_->simulated.load(std::memory_order_relaxed))
+        return impl_->sim_time_s.load(std::memory_order_relaxed);
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - impl_->epoch)
+        .count();
+}
+
+void
+TelemetryClock::enable_simulated(double start_s)
+{
+    impl_->sim_time_s.store(start_s, std::memory_order_relaxed);
+    impl_->simulated.store(true, std::memory_order_relaxed);
+}
+
+void
+TelemetryClock::enable_wall()
+{
+    impl_->simulated.store(false, std::memory_order_relaxed);
+}
+
+bool
+TelemetryClock::simulated() const
+{
+    return impl_->simulated.load(std::memory_order_relaxed);
+}
+
+void
+TelemetryClock::set_simulated_time_s(double t)
+{
+    if (!simulated()) return;
+    impl_->sim_time_s.store(t, std::memory_order_relaxed);
+}
+
+double
+now_s()
+{
+    return TelemetryClock::global().now_s();
+}
+
+} // namespace insitu::obs

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The telemetry clock: one pluggable time source for every timestamp
+ * and duration the observability layer records.
+ *
+ * Determinism rule zero of the telemetry layer (docs/internals.md,
+ * "Telemetry is deterministic by construction"): instrumentation NEVER
+ * reads the hardware clock directly. All timestamps come from here, in
+ * one of two modes:
+ *
+ * - **Wall mode** (default): `now_s()` is a monotonic hardware clock.
+ *   Spans and timing histograms measure real execution time — this is
+ *   the profiling mode benches use.
+ * - **Simulated mode**: `now_s()` returns the simulation time last
+ *   published via `set_simulated_time_s()` (FleetSim publishes its
+ *   stage clock). Every timestamp is then a pure function of the
+ *   replayed scenario, so an exported trace is byte-identical at any
+ *   thread width — this is the mode the `check_obs` ctest pins.
+ */
+#pragma once
+
+namespace insitu::obs {
+
+/** Process-wide telemetry time source. */
+class TelemetryClock {
+  public:
+    /** The process-wide clock (wall mode until switched). */
+    static TelemetryClock& global();
+
+    /** Current telemetry time in seconds. Wall mode: monotonic
+     * hardware seconds (arbitrary epoch). Simulated mode: the last
+     * published simulation time. Callable from any thread. */
+    double now_s() const;
+
+    /** Switch to simulated time, starting at @p start_s. */
+    void enable_simulated(double start_s = 0.0);
+
+    /** Back to the hardware clock (the default). */
+    void enable_wall();
+
+    bool simulated() const;
+
+    /**
+     * Publish the current simulation time. No-op in wall mode, so
+     * simulators can publish unconditionally. Must be called from
+     * serial code (it is a time-base update, not a per-event stamp);
+     * reads may race it safely from any thread.
+     */
+    void set_simulated_time_s(double t);
+
+  private:
+    struct Impl;
+    TelemetryClock();
+    Impl* impl_;
+};
+
+/** Shorthand for `TelemetryClock::global().now_s()`. */
+double now_s();
+
+} // namespace insitu::obs

@@ -1,0 +1,276 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <ostream>
+#include <thread>
+
+#include "obs/clock.h"
+#include "util/parallel.h"
+
+namespace insitu::obs {
+
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+format_double(double v)
+{
+    // Fixed nine decimals: enough for nanosecond-quantized sums, and
+    // — unlike %g — never switches representation with magnitude, so
+    // equal doubles always print equal bytes.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9f", v);
+    return buf;
+}
+
+namespace {
+
+void
+write_attrs(std::ostream& os, const std::vector<SpanAttr>& attrs)
+{
+    os << "{";
+    for (size_t i = 0; i < attrs.size(); ++i) {
+        if (i > 0) os << ",";
+        os << "\"" << json_escape(attrs[i].key) << "\":\""
+           << json_escape(attrs[i].value) << "\"";
+    }
+    os << "}";
+}
+
+void
+write_metric(std::ostream& os, const MetricValue& m)
+{
+    switch (m.kind) {
+    case MetricValue::Kind::kCounter:
+        os << "{\"type\":\"counter\",\"name\":\""
+           << json_escape(m.name) << "\",\"value\":" << m.count
+           << "}";
+        break;
+    case MetricValue::Kind::kGauge:
+        os << "{\"type\":\"gauge\",\"name\":\"" << json_escape(m.name)
+           << "\",\"value\":" << format_double(m.value) << "}";
+        break;
+    case MetricValue::Kind::kHistogram:
+        os << "{\"type\":\"histogram\",\"name\":\""
+           << json_escape(m.name) << "\",\"count\":" << m.count
+           << ",\"sum\":" << format_double(m.value)
+           << ",\"buckets\":[";
+        for (size_t b = 0; b < m.bucket_counts.size(); ++b) {
+            if (b > 0) os << ",";
+            os << "[";
+            if (b < m.bounds.size())
+                os << format_double(m.bounds[b]);
+            else
+                os << "\"inf\"";
+            os << "," << m.bucket_counts[b] << "]";
+        }
+        os << "]}";
+        break;
+    }
+}
+
+/// Metrics suffixed `.wall_s` measure the host machine, not the
+/// scenario; in simulated-clock mode they are the one legitimately
+/// nondeterministic input, so exports omit them to keep replay output
+/// byte-identical (docs/observability.md, "Wall-clock metrics").
+bool
+suppressed_in_simulated_mode(const MetricValue& m)
+{
+    static const std::string kSuffix = ".wall_s";
+    if (!TelemetryClock::global().simulated()) return false;
+    return m.name.size() >= kSuffix.size() &&
+           m.name.compare(m.name.size() - kSuffix.size(),
+                          kSuffix.size(), kSuffix) == 0;
+}
+
+void
+write_span_jsonl(std::ostream& os, const SpanRecord& s)
+{
+    os << "{\"type\":\"" << (s.instant ? "instant" : "span")
+       << "\",\"id\":" << s.id << ",\"parent\":" << s.parent
+       << ",\"name\":\"" << json_escape(s.name)
+       << "\",\"start\":" << format_double(s.start_s);
+    if (!s.instant) os << ",\"end\":" << format_double(s.end_s);
+    if (!s.attrs.empty()) {
+        os << ",\"attrs\":";
+        write_attrs(os, s.attrs);
+    }
+    os << "}";
+}
+
+} // namespace
+
+void
+export_jsonl(std::ostream& os, const MetricsRegistry& registry,
+             const TraceRecorder& recorder)
+{
+    os << "{\"type\":\"meta\",\"version\":1,\"clock\":\""
+       << (TelemetryClock::global().simulated() ? "simulated"
+                                                : "wall")
+       << "\",\"dropped_spans\":" << recorder.dropped() << "}\n";
+    for (const MetricValue& m : registry.snapshot().metrics) {
+        if (suppressed_in_simulated_mode(m)) continue;
+        write_metric(os, m);
+        os << "\n";
+    }
+    for (const SpanRecord& s : recorder.snapshot()) {
+        write_span_jsonl(os, s);
+        os << "\n";
+    }
+}
+
+void
+export_jsonl(std::ostream& os)
+{
+    export_jsonl(os, MetricsRegistry::global(),
+                 TraceRecorder::global());
+}
+
+bool
+export_jsonl_file(const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out) return false;
+    export_jsonl(out);
+    return static_cast<bool>(out);
+}
+
+void
+export_chrome_trace(std::ostream& os, const TraceRecorder& recorder)
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const SpanRecord& s : recorder.snapshot()) {
+        if (!first) os << ",";
+        first = false;
+        os << "\n{\"name\":\"" << json_escape(s.name)
+           << "\",\"ph\":\"" << (s.instant ? "i" : "X")
+           << "\",\"pid\":0,\"tid\":0,\"ts\":"
+           << format_double(s.start_s * 1e6);
+        if (!s.instant)
+            os << ",\"dur\":"
+               << format_double((s.end_s - s.start_s) * 1e6);
+        else
+            os << ",\"s\":\"t\"";
+        os << ",\"args\":";
+        std::vector<SpanAttr> args = s.attrs;
+        args.push_back({"span_id", std::to_string(s.id)});
+        write_attrs(os, args);
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+bool
+export_chrome_trace_file(const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out) return false;
+    export_chrome_trace(out, TraceRecorder::global());
+    return static_cast<bool>(out);
+}
+
+void
+export_metrics_json(std::ostream& os, const MetricsRegistry& registry)
+{
+    os << "[";
+    bool first = true;
+    for (const MetricValue& m : registry.snapshot().metrics) {
+        if (suppressed_in_simulated_mode(m)) continue;
+        if (!first) os << ",";
+        first = false;
+        os << "\n  ";
+        write_metric(os, m);
+    }
+    os << "\n]";
+}
+
+void
+export_environment_json(std::ostream& os)
+{
+    char stamp[64] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    if (gmtime_r(&now, &tm_utc) != nullptr)
+        std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ",
+                      &tm_utc);
+    os << "{\n"
+       << "    \"compiler\": \"" << json_escape(
+#if defined(__clang__)
+              "clang " __clang_version__
+#elif defined(__GNUC__)
+              "gcc " __VERSION__
+#else
+              "unknown"
+#endif
+              )
+       << "\",\n    \"cxx_standard\": " << __cplusplus
+       << ",\n    \"build\": \""
+#ifdef NDEBUG
+       << "release"
+#else
+       << "debug"
+#endif
+       << "\",\n    \"threads\": " << num_threads()
+       << ",\n    \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency()
+       << ",\n    \"clock\": \""
+       << (TelemetryClock::global().simulated() ? "simulated"
+                                                : "wall")
+       << "\",\n    \"timestamp_utc\": \"" << stamp << "\"\n  }";
+}
+
+TablePrinter
+metrics_summary_table(const MetricsRegistry& registry)
+{
+    TablePrinter table({"metric", "kind", "count", "value"});
+    for (const MetricValue& m : registry.snapshot().metrics) {
+        switch (m.kind) {
+        case MetricValue::Kind::kCounter:
+            table.add_row(
+                {m.name, "counter", std::to_string(m.count), ""});
+            break;
+        case MetricValue::Kind::kGauge:
+            table.add_row(
+                {m.name, "gauge", "", TablePrinter::num(m.value, 6)});
+            break;
+        case MetricValue::Kind::kHistogram: {
+            const double mean =
+                m.count > 0
+                    ? m.value / static_cast<double>(m.count)
+                    : 0.0;
+            table.add_row({m.name, "histogram",
+                           std::to_string(m.count),
+                           TablePrinter::num(mean, 6) + " (mean)"});
+            break;
+        }
+        }
+    }
+    return table;
+}
+
+} // namespace insitu::obs

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Telemetry exporters: JSONL event stream, Chrome trace_event JSON,
+ * and a human-readable summary table.
+ *
+ * All exporters are deterministic given deterministic inputs: metrics
+ * are emitted name-sorted, spans in creation order, and every double
+ * is formatted with a fixed conversion — so two runs that produce the
+ * same telemetry produce byte-identical files (the `check_obs` ctest
+ * pins this across thread widths on the chaos scenario).
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/table.h"
+
+namespace insitu::obs {
+
+/**
+ * JSONL: one JSON object per line — a `meta` header, one line per
+ * metric (name-sorted), one line per span/instant (creation order).
+ */
+void export_jsonl(std::ostream& os, const MetricsRegistry& registry,
+                  const TraceRecorder& recorder);
+
+/** JSONL of the global registry + recorder. */
+void export_jsonl(std::ostream& os);
+
+/** Write global-telemetry JSONL to @p path; false on I/O failure. */
+bool export_jsonl_file(const std::string& path);
+
+/**
+ * Chrome trace_event JSON (the `{"traceEvents": [...]}` form): spans
+ * become complete ("X") events, instants become "i" events; load the
+ * file in chrome://tracing or https://ui.perfetto.dev.
+ */
+void export_chrome_trace(std::ostream& os,
+                         const TraceRecorder& recorder);
+
+/** Chrome trace of the global recorder to @p path. */
+bool export_chrome_trace_file(const std::string& path);
+
+/**
+ * JSON array of metric objects (the same objects the JSONL emits),
+ * for embedding in a larger document (e.g. BENCH_<name>.json).
+ */
+void export_metrics_json(std::ostream& os,
+                         const MetricsRegistry& registry);
+
+/**
+ * JSON object describing the build/runtime environment: compiler,
+ * build flags, thread width, clock mode, timestamp. The one
+ * deliberately nondeterministic exporter (it stamps wall time).
+ */
+void export_environment_json(std::ostream& os);
+
+/** Render every metric as a table: name, kind, count, value/mean. */
+TablePrinter metrics_summary_table(const MetricsRegistry& registry);
+
+/** JSON-escape @p s (quotes not included). */
+std::string json_escape(const std::string& s);
+
+/** Fixed deterministic double formatting used by every exporter. */
+std::string format_double(double v);
+
+} // namespace insitu::obs

@@ -1,0 +1,241 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace insitu::obs {
+
+namespace detail {
+
+int
+shard_index()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local int id = static_cast<int>(
+        next.fetch_add(1, std::memory_order_relaxed) %
+        static_cast<unsigned>(kMetricShards));
+    return id;
+}
+
+} // namespace detail
+
+int64_t
+Counter::value() const
+{
+    int64_t total = 0;
+    for (const auto& s : shards_)
+        total += s.v.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Counter::reset()
+{
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+HistogramOptions
+default_time_options()
+{
+    return {{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0},
+            1e-9};
+}
+
+Histogram::Histogram(HistogramOptions options)
+    : options_(std::move(options))
+{
+    INSITU_CHECK(options_.quantum > 0,
+                 "histogram quantum must be positive");
+    INSITU_CHECK(
+        std::is_sorted(options_.bounds.begin(), options_.bounds.end()),
+        "histogram bounds must be ascending");
+    // buckets (incl. overflow) + 1 trailing slot for the quantized sum
+    stride_ = options_.bounds.size() + 2;
+    cells_ = std::make_unique<std::atomic<int64_t>[]>(
+        static_cast<size_t>(kMetricShards) * stride_);
+    for (size_t i = 0; i < kMetricShards * stride_; ++i)
+        cells_[i].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(double v)
+{
+    const auto it = std::lower_bound(options_.bounds.begin(),
+                                     options_.bounds.end(), v);
+    const size_t bucket =
+        static_cast<size_t>(it - options_.bounds.begin());
+    std::atomic<int64_t>* shard =
+        &cells_[static_cast<size_t>(detail::shard_index()) * stride_];
+    shard[bucket].fetch_add(1, std::memory_order_relaxed);
+    shard[stride_ - 1].fetch_add(
+        std::llround(v / options_.quantum),
+        std::memory_order_relaxed);
+}
+
+int64_t
+Histogram::count() const
+{
+    int64_t total = 0;
+    for (int s = 0; s < kMetricShards; ++s)
+        for (size_t b = 0; b + 1 < stride_; ++b)
+            total += cells_[static_cast<size_t>(s) * stride_ + b].load(
+                std::memory_order_relaxed);
+    return total;
+}
+
+double
+Histogram::sum() const
+{
+    int64_t quanta = 0;
+    for (int s = 0; s < kMetricShards; ++s)
+        quanta += cells_[static_cast<size_t>(s) * stride_ +
+                         (stride_ - 1)]
+                      .load(std::memory_order_relaxed);
+    return static_cast<double>(quanta) * options_.quantum;
+}
+
+std::vector<int64_t>
+Histogram::bucket_counts() const
+{
+    std::vector<int64_t> out(stride_ - 1, 0);
+    for (int s = 0; s < kMetricShards; ++s)
+        for (size_t b = 0; b + 1 < stride_; ++b)
+            out[b] +=
+                cells_[static_cast<size_t>(s) * stride_ + b].load(
+                    std::memory_order_relaxed);
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    for (size_t i = 0; i < kMetricShards * stride_; ++i)
+        cells_[i].store(0, std::memory_order_relaxed);
+}
+
+const MetricValue*
+MetricsSnapshot::find(const std::string& name) const
+{
+    for (const auto& m : metrics)
+        if (m.name == name) return &m;
+    return nullptr;
+}
+
+MetricsRegistry&
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    INSITU_CHECK(gauges_.find(name) == gauges_.end() &&
+                     histograms_.find(name) == histograms_.end(),
+                 "metric ", name, " already registered with another "
+                 "kind");
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    INSITU_CHECK(counters_.find(name) == counters_.end() &&
+                     histograms_.find(name) == histograms_.end(),
+                 "metric ", name, " already registered with another "
+                 "kind");
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name,
+                           HistogramOptions options)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    INSITU_CHECK(counters_.find(name) == counters_.end() &&
+                     gauges_.find(name) == gauges_.end(),
+                 "metric ", name, " already registered with another "
+                 "kind");
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>(std::move(options));
+    return *slot;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& [name, c] : counters_) {
+            MetricValue m;
+            m.kind = MetricValue::Kind::kCounter;
+            m.name = name;
+            m.count = c->value();
+            snap.metrics.push_back(std::move(m));
+        }
+        for (const auto& [name, g] : gauges_) {
+            MetricValue m;
+            m.kind = MetricValue::Kind::kGauge;
+            m.name = name;
+            m.value = g->value();
+            snap.metrics.push_back(std::move(m));
+        }
+        for (const auto& [name, h] : histograms_) {
+            MetricValue m;
+            m.kind = MetricValue::Kind::kHistogram;
+            m.name = name;
+            m.count = h->count();
+            m.value = h->sum();
+            m.bounds = h->options().bounds;
+            m.bucket_counts = h->bucket_counts();
+            snap.metrics.push_back(std::move(m));
+        }
+    }
+    if (this == &global()) {
+        // Mirror the thread-pool's internal tallies (util cannot link
+        // obs — the dependency points the other way).
+        const ParallelStats ps = parallel_stats();
+        auto mirror = [&snap](const char* name, int64_t v) {
+            MetricValue m;
+            m.kind = MetricValue::Kind::kCounter;
+            m.name = name;
+            m.count = v;
+            snap.metrics.push_back(std::move(m));
+        };
+        // `runs` is the width-independent sum: a run executes inline
+        // at width 1 and on the pool at width 4, and the split would
+        // break byte-identical exports across widths.
+        mirror("parallel.chunks", ps.chunks);
+        mirror("parallel.runs", ps.inline_runs + ps.pool_runs);
+    }
+    std::sort(snap.metrics.begin(), snap.metrics.end(),
+              [](const MetricValue& a, const MetricValue& b) {
+                  return a.name < b.name;
+              });
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto& [name, c] : counters_) c->reset();
+        for (auto& [name, g] : gauges_) g->reset();
+        for (auto& [name, h] : histograms_) h->reset();
+    }
+    if (this == &global()) reset_parallel_stats();
+}
+
+} // namespace insitu::obs

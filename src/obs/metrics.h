@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Process-wide metrics: counters, gauges and fixed-bucket histograms,
+ * cheap enough for hot paths and deterministic enough for replay.
+ *
+ * Design rules (the full rationale is in docs/observability.md and the
+ * "Telemetry is deterministic by construction" section of
+ * docs/internals.md):
+ *
+ * - **Counters** and **histograms** may be bumped from any thread,
+ *   including thread-pool workers: writes land in per-thread shards
+ *   (padded atomics) and are summed at snapshot time. Because the
+ *   merged values are integer sums, a width-N run produces the same
+ *   snapshot as a serial one.
+ * - **Histogram sums are quantized.** Floating-point addition is not
+ *   associative, so a histogram accumulates `llround(v / quantum)`
+ *   into an integer instead of summing doubles — the merged sum is
+ *   bit-identical at any thread width. The default quantum (1 ns for
+ *   values in seconds) is far below anything the clock resolves.
+ * - **Gauges are serial.** A gauge is a plain last-write-wins /
+ *   accumulate double for configuration values and serially folded
+ *   totals; writing one from inside a parallel region would make the
+ *   result scheduling-dependent, so don't (reads are always safe).
+ * - **Handles are stable.** `counter()/gauge()/histogram()` return
+ *   references that stay valid for the process lifetime; `reset()`
+ *   zeroes values but never unregisters. Hot paths should look a
+ *   handle up once (e.g. a function-local static) and bump the
+ *   reference.
+ *
+ * Naming scheme: dotted lowercase paths, `<module>.<subject>.<what>`,
+ * with a unit suffix for non-count values (`_s`, `_j`, `_bytes`) —
+ * e.g. `iot.uplink.retransmits`, `nn.forward.conv.time_s`.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace insitu::obs {
+
+/// Per-thread write shards per metric. A power of two; threads beyond
+/// this many simply share shards (still race-free, just contended).
+constexpr int kMetricShards = 16;
+
+namespace detail {
+/// Stable small shard index for the calling thread.
+int shard_index();
+
+/// A cache-line-padded atomic slot (avoids false sharing between
+/// shards of one metric).
+struct alignas(64) PaddedCount {
+    std::atomic<int64_t> v{0};
+};
+} // namespace detail
+
+/** Monotonic integer counter; add() is safe from any thread. */
+class Counter {
+  public:
+    void
+    add(int64_t n = 1)
+    {
+        shards_[detail::shard_index()].v.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    /** Sum of all shards (exact; order-independent). */
+    int64_t value() const;
+
+    void reset();
+
+  private:
+    detail::PaddedCount shards_[kMetricShards];
+};
+
+/** Last-write-wins / accumulating double. Serial writers only. */
+class Gauge {
+  public:
+    void
+    set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    /** Serial read-modify-write accumulate (NOT atomic add — gauges
+     * have one writer by contract). */
+    void
+    add(double d)
+    {
+        value_.store(value_.load(std::memory_order_relaxed) + d,
+                     std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Bucket layout + sum quantization of one histogram. */
+struct HistogramOptions {
+    /// Ascending inclusive upper bounds; an implicit overflow bucket
+    /// catches everything above the last bound.
+    std::vector<double> bounds;
+    /// Sum quantization step: observe(v) accumulates llround(v /
+    /// quantum) so merged sums are exact integers.
+    double quantum = 1e-9;
+};
+
+/** Default bucket bounds for durations in seconds: 1 µs .. 100 s,
+ * one bucket per decade. */
+HistogramOptions default_time_options();
+
+/**
+ * Fixed-bucket histogram; observe() is safe from any thread.
+ * Negative values clamp into the first bucket.
+ */
+class Histogram {
+  public:
+    explicit Histogram(HistogramOptions options);
+
+    void observe(double v);
+
+    const HistogramOptions& options() const { return options_; }
+
+    /** Observations so far (sum of all buckets). */
+    int64_t count() const;
+
+    /** De-quantized sum of observed values. */
+    double sum() const;
+
+    /** Merged per-bucket counts, size bounds.size() + 1 (last entry
+     * is the overflow bucket). */
+    std::vector<int64_t> bucket_counts() const;
+
+    void reset();
+
+  private:
+    HistogramOptions options_;
+    /// shards_[shard * stride + bucket]; one extra slot per shard for
+    /// the quantized sum.
+    std::unique_ptr<std::atomic<int64_t>[]> cells_;
+    size_t stride_ = 0;
+};
+
+/** One metric's merged value inside a snapshot. */
+struct MetricValue {
+    enum class Kind { kCounter, kGauge, kHistogram };
+    Kind kind = Kind::kCounter;
+    std::string name;
+    int64_t count = 0; ///< counter value, or histogram observation count
+    double value = 0;  ///< gauge value, or de-quantized histogram sum
+    std::vector<double> bounds;         ///< histogram bucket bounds
+    std::vector<int64_t> bucket_counts; ///< merged histogram buckets
+};
+
+/** A deterministic (name-sorted) view of every registered metric. */
+struct MetricsSnapshot {
+    std::vector<MetricValue> metrics;
+
+    /** The metric named @p name, or nullptr. */
+    const MetricValue* find(const std::string& name) const;
+};
+
+/**
+ * Owner of every metric. Lookup is mutex-guarded (do it once, keep
+ * the reference); the returned handles are lock-free to bump.
+ */
+class MetricsRegistry {
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /** The process-wide registry. */
+    static MetricsRegistry& global();
+
+    /** Find-or-create. Fatal if @p name is registered as another
+     * metric kind. */
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name,
+                         HistogramOptions options =
+                             default_time_options());
+
+    /**
+     * Merged, name-sorted view of every metric. On the global
+     * registry this also mirrors the thread-pool's internal tallies
+     * (`parallel.*` — see util/parallel.h) so pool activity shows up
+     * without util depending on obs.
+     */
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every value (registrations and handles survive). On the
+     * global registry, also resets the thread-pool tallies. */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    // node-stable maps: references returned by the accessors must
+    // survive later registrations.
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace insitu::obs

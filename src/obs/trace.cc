@@ -1,0 +1,136 @@
+#include "obs/trace.h"
+
+#include "obs/clock.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace insitu::obs {
+
+namespace {
+/// Open-span stack of the current thread (parent links + strict
+/// nesting). Only the serial submitter ever grows it in practice —
+/// begin() refuses spans from inside parallel regions.
+thread_local std::vector<int64_t> tls_span_stack;
+} // namespace
+
+TraceRecorder&
+TraceRecorder::global()
+{
+    static TraceRecorder recorder;
+    return recorder;
+}
+
+void
+TraceRecorder::set_enabled(bool on)
+{
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+int64_t
+TraceRecorder::begin(const char* name, const char* attr_key,
+                     std::string_view attr_value)
+{
+    std::vector<SpanAttr> attrs;
+    if (enabled() && attr_key != nullptr)
+        attrs.push_back({attr_key, std::string(attr_value)});
+    return begin_with_attrs(name, std::move(attrs));
+}
+
+int64_t
+TraceRecorder::begin_with_attrs(const char* name,
+                                std::vector<SpanAttr> attrs)
+{
+    if (!enabled() || in_parallel_region()) return -1;
+    const double t = now_s();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (records_.size() >= kMaxRecords) {
+        ++dropped_;
+        return -1;
+    }
+    SpanRecord rec;
+    rec.id = next_id_++;
+    rec.parent = tls_span_stack.empty() ? -1 : tls_span_stack.back();
+    rec.name = name;
+    rec.start_s = t;
+    rec.end_s = t;
+    rec.attrs = std::move(attrs);
+    records_.push_back(std::move(rec));
+    tls_span_stack.push_back(records_.back().id);
+    return records_.back().id;
+}
+
+void
+TraceRecorder::end(int64_t id)
+{
+    if (id < 0) return;
+    const double t = now_s();
+    std::lock_guard<std::mutex> lock(mutex_);
+    INSITU_CHECK(!tls_span_stack.empty() &&
+                     tls_span_stack.back() == id,
+                 "trace spans must strictly nest (ending ", id, ")");
+    tls_span_stack.pop_back();
+    // id == index holds as long as clear() is not called with spans
+    // still open; be defensive rather than corrupt a record.
+    const size_t idx = static_cast<size_t>(id);
+    if (idx < records_.size() && records_[idx].id == id)
+        records_[idx].end_s = t;
+}
+
+void
+TraceRecorder::instant(const char* name, std::vector<SpanAttr> attrs)
+{
+    instant_at(now_s(), name, std::move(attrs));
+}
+
+void
+TraceRecorder::instant_at(double t, const char* name,
+                          std::vector<SpanAttr> attrs)
+{
+    if (!enabled() || in_parallel_region()) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (records_.size() >= kMaxRecords) {
+        ++dropped_;
+        return;
+    }
+    SpanRecord rec;
+    rec.id = next_id_++;
+    rec.parent = tls_span_stack.empty() ? -1 : tls_span_stack.back();
+    rec.instant = true;
+    rec.name = name;
+    rec.start_s = t;
+    rec.end_s = t;
+    rec.attrs = std::move(attrs);
+    records_.push_back(std::move(rec));
+}
+
+std::vector<SpanRecord>
+TraceRecorder::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_;
+}
+
+size_t
+TraceRecorder::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_.size();
+}
+
+int64_t
+TraceRecorder::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+void
+TraceRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.clear();
+    next_id_ = 0;
+    dropped_ = 0;
+}
+
+} // namespace insitu::obs

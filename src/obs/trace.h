@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Scoped trace spans: a nested span tree with parent/child links,
+ * stamped by the pluggable telemetry clock (obs/clock.h).
+ *
+ * Usage:
+ *
+ *     INSITU_SPAN("cloud.update");                  // scope = span
+ *     INSITU_SPAN("nn.forward", "layer", name);     // one attribute
+ *     TraceRecorder::global().instant("breaker.open",
+ *                                     {{"node", "2"}});
+ *
+ * Recording is **off by default**: with tracing disabled a span is one
+ * relaxed atomic load. Determinism rules (docs/internals.md):
+ *
+ * - Spans are **serial-context only**. A span opened inside a
+ *   `parallel_for` body (detected via `in_parallel_region()`) is
+ *   silently dropped — worker interleaving would make the record
+ *   order scheduling-dependent. Inside parallel regions, use
+ *   counters/histograms; they merge deterministically.
+ * - Timestamps come from the telemetry clock. In simulated mode the
+ *   whole trace is a pure function of the scenario, so a run exports
+ *   byte-identical traces at any thread width.
+ * - Spans must strictly nest per thread (RAII via ScopedSpan
+ *   guarantees this); parent links come from a thread-local stack.
+ *
+ * Export via obs/export.h: JSONL lines, Chrome trace_event JSON
+ * (open in chrome://tracing or https://ui.perfetto.dev), or the
+ * summary table.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace insitu::obs {
+
+/** One key=value annotation on a span or instant event. */
+struct SpanAttr {
+    std::string key;
+    std::string value;
+};
+
+/** One recorded span (or instant event, when end_s == start_s and
+ * `instant` is set). */
+struct SpanRecord {
+    int64_t id = -1;
+    int64_t parent = -1; ///< -1 for roots
+    bool instant = false;
+    std::string name;
+    double start_s = 0;
+    double end_s = 0;
+    std::vector<SpanAttr> attrs;
+};
+
+/** Process-wide span sink. */
+class TraceRecorder {
+  public:
+    TraceRecorder() = default;
+    TraceRecorder(const TraceRecorder&) = delete;
+    TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+    static TraceRecorder& global();
+
+    /** Turn recording on/off (off by default). Does not clear. */
+    void set_enabled(bool on);
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Open a span. Returns its id, or -1 when recording is disabled,
+     * the call comes from inside a parallel region, or the buffer is
+     * full (the drop is counted). Prefer ScopedSpan / INSITU_SPAN.
+     */
+    int64_t begin(const char* name, const char* attr_key = nullptr,
+                  std::string_view attr_value = {});
+
+    /** Open a span with arbitrary attributes. */
+    int64_t begin_with_attrs(const char* name,
+                             std::vector<SpanAttr> attrs);
+
+    /** Close span @p id, stamping the current telemetry time.
+     * No-op for id == -1. Must match the most recent open span on
+     * this thread (strict nesting). */
+    void end(int64_t id);
+
+    /** Record a zero-duration event at the current telemetry time. */
+    void instant(const char* name, std::vector<SpanAttr> attrs = {});
+
+    /** Record a zero-duration event at an explicit time @p t (for
+     * subsystems that carry their own simulation clock). */
+    void instant_at(double t, const char* name,
+                    std::vector<SpanAttr> attrs = {});
+
+    /** Copy of every record, in creation order. */
+    std::vector<SpanRecord> snapshot() const;
+
+    size_t size() const;
+
+    /** Spans dropped because the buffer cap was reached. */
+    int64_t dropped() const;
+
+    /** Forget every record (ids restart at 0). */
+    void clear();
+
+    /** Buffer cap; further spans are dropped (and counted). */
+    static constexpr size_t kMaxRecords = 1u << 20;
+
+  private:
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;
+    std::vector<SpanRecord> records_;
+    int64_t next_id_ = 0;
+    int64_t dropped_ = 0;
+};
+
+/** RAII span handle; see INSITU_SPAN. */
+class ScopedSpan {
+  public:
+    explicit ScopedSpan(const char* name)
+        : id_(TraceRecorder::global().begin(name))
+    {}
+    ScopedSpan(const char* name, const char* attr_key,
+               std::string_view attr_value)
+        : id_(TraceRecorder::global().begin(name, attr_key,
+                                            attr_value))
+    {}
+    ScopedSpan(const char* name, std::vector<SpanAttr> attrs)
+        : id_(TraceRecorder::global().begin_with_attrs(
+              name, std::move(attrs)))
+    {}
+    ~ScopedSpan() { TraceRecorder::global().end(id_); }
+
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+    int64_t id() const { return id_; }
+
+  private:
+    int64_t id_;
+};
+
+#define INSITU_OBS_CONCAT_(a, b) a##b
+#define INSITU_OBS_CONCAT(a, b) INSITU_OBS_CONCAT_(a, b)
+
+/**
+ * Open a span covering the rest of the enclosing scope.
+ * INSITU_SPAN("name"), INSITU_SPAN("name", "key", value), or
+ * INSITU_SPAN("name", {{"k1", v1}, {"k2", v2}}).
+ */
+#define INSITU_SPAN(...)                                               \
+    ::insitu::obs::ScopedSpan INSITU_OBS_CONCAT(insitu_span_,          \
+                                                __LINE__)             \
+    {                                                                  \
+        __VA_ARGS__                                                    \
+    }
+
+} // namespace insitu::obs

@@ -2,12 +2,31 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
 namespace insitu {
 
 namespace {
+
+/**
+ * Bump `tensor.<kernel>.calls` / `tensor.<kernel>.flops`. Handles are
+ * looked up once (magic statics at the call sites) and the counters
+ * are shard-based, so this is safe and cheap from any context.
+ */
+void
+tally_kernel(obs::Counter& calls, obs::Counter& flops, int64_t f)
+{
+    calls.add(1);
+    flops.add(f);
+}
+
+obs::Counter&
+kernel_counter(const char* name)
+{
+    return obs::MetricsRegistry::global().counter(name);
+}
 
 /**
  * Rows per parallel chunk for a GEMM whose rows cost @p flops_per_row.
@@ -31,6 +50,9 @@ matmul(const Tensor& a, const Tensor& b)
     const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
     INSITU_CHECK(b.dim(0) == k, "matmul inner dims: ", k, " vs ",
                  b.dim(0));
+    static auto& calls = kernel_counter("tensor.matmul.calls");
+    static auto& flops = kernel_counter("tensor.matmul.flops");
+    tally_kernel(calls, flops, 2 * m * k * n);
     Tensor c({m, n});
     const float* pa = a.data();
     const float* pb = b.data();
@@ -60,6 +82,9 @@ matmul_ta(const Tensor& a, const Tensor& b)
                  "matmul_ta needs rank 2");
     const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
     INSITU_CHECK(b.dim(0) == k, "matmul_ta inner dims");
+    static auto& calls = kernel_counter("tensor.matmul_ta.calls");
+    static auto& flops = kernel_counter("tensor.matmul_ta.flops");
+    tally_kernel(calls, flops, 2 * m * k * n);
     Tensor c({m, n});
     const float* pa = a.data();
     const float* pb = b.data();
@@ -88,6 +113,9 @@ matmul_tb(const Tensor& a, const Tensor& b)
                  "matmul_tb needs rank 2");
     const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
     INSITU_CHECK(b.dim(1) == k, "matmul_tb inner dims");
+    static auto& calls = kernel_counter("tensor.matmul_tb.calls");
+    static auto& flops = kernel_counter("tensor.matmul_tb.flops");
+    tally_kernel(calls, flops, 2 * m * k * n);
     Tensor c({m, n});
     const float* pa = a.data();
     const float* pb = b.data();
@@ -164,6 +192,11 @@ conv2d_direct(const Tensor& input, const Tensor& weight,
                      weight.dim(3) == g.kernel && bias.dim(0) == m,
                  "conv2d_direct geometry mismatch");
     const int64_t oh = g.out_h(), ow = g.out_w();
+    static auto& calls = kernel_counter("tensor.conv2d_direct.calls");
+    static auto& flops = kernel_counter("tensor.conv2d_direct.flops");
+    tally_kernel(calls, flops,
+                 2 * batch * m * g.in_channels * oh * ow * g.kernel *
+                     g.kernel);
     Tensor out({batch, m, oh, ow});
     const float* in = input.data();
     const float* w = weight.data();

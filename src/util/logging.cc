@@ -1,44 +1,48 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace insitu {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+// Read from pool workers while tests/benches flip the level from the
+// coordinating thread — must be atomic, not a plain global (TSan-clean
+// under the width-4 ctest pass).
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
 } // namespace
 
 void
 set_log_level(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 log_level()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 inform(const std::string& msg)
 {
-    if (g_level >= LogLevel::kInfo)
+    if (log_level() >= LogLevel::kInfo)
         std::fprintf(stderr, "[info] %s\n", msg.c_str());
 }
 
 void
 warn(const std::string& msg)
 {
-    if (g_level >= LogLevel::kWarn)
+    if (log_level() >= LogLevel::kWarn)
         std::fprintf(stderr, "[warn] %s\n", msg.c_str());
 }
 
 void
 debug(const std::string& msg)
 {
-    if (g_level >= LogLevel::kDebug)
+    if (log_level() >= LogLevel::kDebug)
         std::fprintf(stderr, "[debug] %s\n", msg.c_str());
 }
 

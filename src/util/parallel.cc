@@ -18,6 +18,22 @@ namespace {
 /// parallel_for calls run inline instead of deadlocking on the pool.
 thread_local bool tls_in_pool = false;
 
+/// Depth of parallel-body execution on this thread. Unlike
+/// tls_in_pool it is raised on *every* body-execution path — worker
+/// drain, participating caller, serial fallback, single-chunk
+/// shortcut — so in_parallel_region() answers identically at every
+/// thread width.
+thread_local int tls_region_depth = 0;
+
+struct RegionGuard {
+    RegionGuard() { ++tls_region_depth; }
+    ~RegionGuard() { --tls_region_depth; }
+};
+
+std::atomic<int64_t> g_stat_pool_runs{0};
+std::atomic<int64_t> g_stat_inline_runs{0};
+std::atomic<int64_t> g_stat_chunks{0};
+
 int
 default_threads()
 {
@@ -63,6 +79,7 @@ struct ThreadPool::State {
     {
         bool finished_last = false;
         tls_in_pool = true;
+        RegionGuard region;
         for (;;) {
             const int64_t j = next.fetch_add(1);
             if (j >= njobs.load()) break;
@@ -131,9 +148,12 @@ ThreadPool::run(int64_t njobs, const std::function<void(int64_t)>& job)
     if (njobs <= 0) return;
     if (workers_ == 0 || njobs == 1 || tls_in_pool) {
         // Serial / reentrant path: same jobs, same thread, in order.
+        g_stat_inline_runs.fetch_add(1, std::memory_order_relaxed);
+        RegionGuard region;
         for (int64_t j = 0; j < njobs; ++j) job(j);
         return;
     }
+    g_stat_pool_runs.fetch_add(1, std::memory_order_relaxed);
     {
         std::unique_lock<std::mutex> lock(state_->m);
         // A straggler of the previous run may still be inside drain():
@@ -214,7 +234,11 @@ parallel_for_chunks(
         const int64_t e = b + g < end ? b + g : end;
         body(c, b, e);
     };
+    g_stat_chunks.fetch_add(nchunks, std::memory_order_relaxed);
     if (nchunks == 1) {
+        // Direct call, but still a parallel body by contract: the
+        // region must look the same to telemetry at every width.
+        RegionGuard region;
         chunk_job(0);
         return;
     }
@@ -229,6 +253,31 @@ parallel_for(int64_t begin, int64_t end, int64_t grain,
                         [&](int64_t, int64_t b, int64_t e) {
                             body(b, e);
                         });
+}
+
+bool
+in_parallel_region()
+{
+    return tls_region_depth > 0;
+}
+
+ParallelStats
+parallel_stats()
+{
+    ParallelStats s;
+    s.pool_runs = g_stat_pool_runs.load(std::memory_order_relaxed);
+    s.inline_runs =
+        g_stat_inline_runs.load(std::memory_order_relaxed);
+    s.chunks = g_stat_chunks.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+reset_parallel_stats()
+{
+    g_stat_pool_runs.store(0, std::memory_order_relaxed);
+    g_stat_inline_runs.store(0, std::memory_order_relaxed);
+    g_stat_chunks.store(0, std::memory_order_relaxed);
 }
 
 uint64_t

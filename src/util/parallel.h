@@ -138,4 +138,37 @@ void parallel_for_chunks(
  */
 uint64_t derive_stream(uint64_t seed, uint64_t a, uint64_t b = 0);
 
+/**
+ * True while the current thread is executing a `parallel_for` /
+ * `ThreadPool::run` body — on a worker, on the participating caller,
+ * and on the serial fallback paths alike, so the answer is the same
+ * at every thread width. The telemetry layer uses this to refuse
+ * trace spans from parallel regions (spans are serial-context-only;
+ * see src/obs/trace.h).
+ */
+bool in_parallel_region();
+
+/**
+ * Monotonic process-lifetime tallies of pool activity, kept here as
+ * plain atomics because util cannot depend on the obs layer (the
+ * global MetricsRegistry mirrors them into `parallel.*` counters at
+ * snapshot time).
+ *
+ * `chunks` and `pool_runs + inline_runs` are width-independent (the
+ * decomposition never depends on the thread count); the pool/inline
+ * *split* is width-dependent by nature — a width-1 pool executes
+ * every run inline.
+ */
+struct ParallelStats {
+    int64_t pool_runs = 0;   ///< run() calls dispatched to workers
+    int64_t inline_runs = 0; ///< run() calls on the serial/reentrant path
+    int64_t chunks = 0;      ///< chunk bodies issued by parallel_for*
+};
+
+/** Current tallies (each counter individually consistent). */
+ParallelStats parallel_stats();
+
+/** Zero the tallies (tests and registry reset). */
+void reset_parallel_stats();
+
 } // namespace insitu
