@@ -61,6 +61,14 @@ else
             fail=1
         fi
     done
+    # The kernel-tuning knobs must stay documented alongside the
+    # benches that exercise them.
+    for needle in 'INSITU_GEMM' 'check_perf'; do
+        if ! grep -qF "$needle" "$perf"; then
+            note "docs/performance.md does not mention $needle"
+            fail=1
+        fi
+    done
 fi
 
 # --- 3. metric namespaces documented in docs/observability.md ------

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Bench-regression harness for the blocked GEMM, run as a ctest
+# (`check_perf`, smoke mode) and by hand in full mode.
+#
+# Runs `bench_kernels` single-threaded, filtered to the blocked/naive
+# A/B pair at ONE square size, with both machine-readable outputs on:
+# the google-benchmark timing JSON and — via INSITU_BENCH_JSON_DIR —
+# the BENCH_kernels.json telemetry snapshot. compare_bench.py then
+# asserts
+#
+#   1. time(naive) / time(blocked) >= floor, and
+#   2. tensor.matmul.flops == calls * 2*size^3 exactly (the counters
+#      are analytic tallies; a drifting counter fails the gate).
+#
+# Modes:
+#   smoke (default) — size 64, floor 1.0: the ctest gate. Small and
+#       fast; on a loaded CI box it only insists blocked is not
+#       slower than the reference.
+#   full — size 256, floor 3.0: the acceptance number recorded in
+#       results/gemm_blocking.md. Run on a quiet machine.
+#
+# INSITU_PERF_FLOOR overrides the floor in either mode.
+#
+# Usage: check_perf.sh <path-to-bench_kernels-binary> [smoke|full]
+set -u
+
+if [ $# -lt 1 ] || [ ! -x "$1" ]; then
+    printf 'usage: %s <bench_kernels binary> [smoke|full]\n' "$0" >&2
+    exit 2
+fi
+binary="$1"
+mode="${2:-smoke}"
+
+case "$mode" in
+    smoke) size=64;  floor="${INSITU_PERF_FLOOR:-1.0}" ;;
+    full)  size=256; floor="${INSITU_PERF_FLOOR:-3.0}" ;;
+    *) printf 'check_perf: unknown mode %s\n' "$mode" >&2; exit 2 ;;
+esac
+
+scripts_dir="$(cd "$(dirname "$0")" && pwd)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+# Single thread: the backends parallelize differently, so the 1-thread
+# ratio is the honest kernel comparison (and the acceptance metric).
+if ! INSITU_THREADS=1 INSITU_BENCH_JSON_DIR="$tmpdir" \
+        "$binary" \
+        --benchmark_filter="^BM_Gemm(Blocked|Naive)/$size\$" \
+        --benchmark_out="$tmpdir/timing.json" \
+        --benchmark_out_format=json \
+        > "$tmpdir/bench.out" 2>&1; then
+    printf 'check_perf: FAILED (bench_kernels exited non-zero)\n' >&2
+    cat "$tmpdir/bench.out" >&2
+    exit 1
+fi
+
+if [ ! -s "$tmpdir/BENCH_kernels.json" ]; then
+    printf 'check_perf: FAILED (no BENCH_kernels.json snapshot)\n' >&2
+    cat "$tmpdir/bench.out" >&2
+    exit 1
+fi
+
+python3 "$scripts_dir/compare_bench.py" \
+    --bench-json "$tmpdir/timing.json" \
+    --metrics-json "$tmpdir/BENCH_kernels.json" \
+    --size "$size" --floor "$floor"
+status=$?
+if [ "$status" -ne 0 ]; then
+    printf 'check_perf: FAILED (mode %s)\n' "$mode" >&2
+    exit "$status"
+fi
+printf 'check_perf: OK (mode %s)\n' "$mode"

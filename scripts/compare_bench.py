@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Comparator behind scripts/check_perf.sh.
+
+Reads two machine-readable artifacts of one `bench_kernels` run that
+was filtered to a single square GEMM size:
+
+  * the google-benchmark ``--benchmark_out`` JSON, from which it takes
+    the per-iteration real time of ``BM_GemmBlocked/<size>`` and
+    ``BM_GemmNaive/<size>`` and asserts
+    ``naive / blocked >= floor``;
+  * the telemetry snapshot ``BENCH_kernels.json`` (written because the
+    harness sets ``INSITU_BENCH_JSON_DIR``), from which it checks the
+    FLOP-accounting contract: with every product in the process the
+    same (size, size, size) shape,
+    ``tensor.matmul.flops / tensor.matmul.calls`` must equal the
+    analytic ``2 * size**3`` *exactly* — the counters are integer
+    tallies, not estimates.
+
+Exit code 0 iff both assertions hold. No external packages.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"compare_bench: FAILED ({msg})", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+
+
+def bench_time(doc, name: str) -> float:
+    """Per-iteration real time of the named benchmark, in seconds."""
+    unit_scale = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+    for b in doc.get("benchmarks", []):
+        if b.get("name") == name and b.get("run_type", "iteration") \
+                != "aggregate":
+            return float(b["real_time"]) * unit_scale[
+                b.get("time_unit", "ns")]
+    fail(f"benchmark {name} missing from timing JSON")
+    raise AssertionError  # unreachable
+
+
+def counter(doc, name: str) -> int:
+    for m in doc.get("metrics", []):
+        if m.get("type") == "counter" and m.get("name") == name:
+            return int(m["value"])
+    fail(f"counter {name} missing from metrics JSON")
+    raise AssertionError  # unreachable
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench-json", required=True,
+                    help="google-benchmark --benchmark_out file")
+    ap.add_argument("--metrics-json", required=True,
+                    help="BENCH_kernels.json telemetry snapshot")
+    ap.add_argument("--size", type=int, required=True,
+                    help="square GEMM size the run was filtered to")
+    ap.add_argument("--floor", type=float, required=True,
+                    help="minimum blocked-over-naive speedup")
+    args = ap.parse_args()
+
+    timing = load_json(args.bench_json)
+    blocked = bench_time(timing, f"BM_GemmBlocked/{args.size}")
+    naive = bench_time(timing, f"BM_GemmNaive/{args.size}")
+    if blocked <= 0 or naive <= 0:
+        fail("non-positive benchmark time")
+    speedup = naive / blocked
+
+    metrics = load_json(args.metrics_json)
+    calls = counter(metrics, "tensor.matmul.calls")
+    flops = counter(metrics, "tensor.matmul.flops")
+    if calls <= 0:
+        fail("no tensor.matmul calls recorded")
+    expect = 2 * args.size ** 3
+    if flops != calls * expect:
+        fail(f"FLOP accounting drifted: {flops} flops over {calls} "
+             f"calls, expected exactly {expect} per call")
+
+    if speedup < args.floor:
+        fail(f"blocked GEMM speedup {speedup:.2f}x at size "
+             f"{args.size} is below the floor {args.floor:.2f}x "
+             f"(blocked {blocked * 1e6:.1f}us, "
+             f"naive {naive * 1e6:.1f}us)")
+
+    print(f"compare_bench: OK (size {args.size}: blocked "
+          f"{blocked * 1e6:.1f}us vs naive {naive * 1e6:.1f}us = "
+          f"{speedup:.2f}x >= {args.floor:.2f}x; "
+          f"{calls} calls x {expect} flops exact)")
+
+
+if __name__ == "__main__":
+    main()

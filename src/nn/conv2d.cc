@@ -3,11 +3,21 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "tensor/gemm.h"
+#include "tensor/workspace.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
 namespace insitu {
+
+// The conv lowerings below call the raw `gemm()` entry point (outputs
+// go straight into layer tensors / workspace scratch, skipping the
+// Tensor-level wrappers), so they tally the `tensor.matmul*` counters
+// themselves — the totals stay exactly what the wrappers would have
+// recorded, and `tensor.matmul.flops` remains the analytic 2·m·k·n
+// per product.
 
 Conv2d::Conv2d(std::string name, int64_t in_channels,
                int64_t out_channels, int64_t kernel, int64_t stride,
@@ -59,24 +69,39 @@ Conv2d::forward(const Tensor& input, bool /*training*/)
                              g);
     }
 
-    // Filter matrix Fm: (M, N*K*K).
-    const Tensor fm = weight_->value().reshape(
-        {out_channels_, in_channels_ * kernel_ * kernel_});
-    Tensor output({batch, out_channels_, oh, ow});
+    const int64_t ckk = in_channels_ * kernel_ * kernel_;
+    const int64_t ohw = oh * ow;
+    // The filter matrix Fm (M, N*K*K) is the weight tensor's own
+    // storage viewed flat — no reshape copy.
+    const float* fm = weight_->value().data();
     const float* pb = bias_->value().data();
+    Tensor output = Tensor::uninitialized({batch, out_channels_, oh, ow});
+    float* po = output.data();
+    const GemmBackend be = gemm_backend();
+    static auto& mm_calls = obs::MetricsRegistry::global().counter(
+        "tensor.matmul.calls");
+    static auto& mm_flops = obs::MetricsRegistry::global().counter(
+        "tensor.matmul.flops");
     // Batch-parallel: every image owns its output slice, so the
     // lowering + GEMM + bias of different images are independent (the
-    // nested matmul runs inline inside a pool worker).
+    // nested GEMM runs inline inside a pool worker). The im2col
+    // columns live in the executing thread's workspace arena — no
+    // allocation or zero-fill per image after the first pass.
     parallel_for(0, batch, 1, [&](int64_t b0, int64_t b1) {
         for (int64_t b = b0; b < b1; ++b) {
-            const Tensor cols = im2col(input, b, g); // Dm: (NK^2, R*C)
-            const Tensor om = matmul(fm, cols);      // Om: (M, R*C)
-            float* dst = output.data() + b * out_channels_ * oh * ow;
-            const float* src = om.data();
+            Workspace::Scope scope;
+            float* cols = Workspace::local().alloc(ckk * ohw);
+            im2col_into(input, b, g, cols); // Dm: (NK^2, R*C)
+            mm_calls.add(1);
+            mm_flops.add(2 * out_channels_ * ckk * ohw);
+            float* dst = po + b * out_channels_ * ohw;
+            // Om = Fm * Dm, written straight into the output slice.
+            gemm(out_channels_, ohw, ckk, fm, ckk, 1, cols, ohw, 1,
+                 dst, be);
             for (int64_t m = 0; m < out_channels_; ++m) {
                 const float bias = pb[m];
-                for (int64_t i = 0; i < oh * ow; ++i)
-                    dst[m * oh * ow + i] = src[m * oh * ow + i] + bias;
+                for (int64_t i = 0; i < ohw; ++i)
+                    dst[m * ohw + i] += bias;
             }
         }
     });
@@ -98,52 +123,72 @@ Conv2d::backward(const Tensor& grad_output)
                      grad_output.dim(3) == ow,
                  "conv grad_output shape mismatch");
 
-    const Tensor fm = weight_->value().reshape(
-        {out_channels_, in_channels_ * kernel_ * kernel_});
+    const int64_t ckk = in_channels_ * kernel_ * kernel_;
+    const int64_t ohw = oh * ow;
+    const float* fm = weight_->value().data(); // Fm: (M, N*K*K) flat
     Tensor grad_input({batch, in_channels_, g.in_h, g.in_w});
-    Tensor grad_fm({out_channels_, in_channels_ * kernel_ * kernel_});
     float* gb = bias_->grad().data();
+    const GemmBackend be = gemm_backend();
+    auto& reg = obs::MetricsRegistry::global();
+    static auto& ta_calls = reg.counter("tensor.matmul_ta.calls");
+    static auto& ta_flops = reg.counter("tensor.matmul_ta.flops");
+    static auto& tb_calls = reg.counter("tensor.matmul_tb.calls");
+    static auto& tb_flops = reg.counter("tensor.matmul_tb.flops");
 
     // Batch-parallel with ordered reduction: each image writes its
     // grad_input slice directly (disjoint) and its weight/bias
     // contributions into a per-image partial; the partials are then
     // combined serially in batch order — the same summation order as
     // a serial loop, so results are bit-identical at any thread count.
+    // Column/column-gradient scratch lives in the executing thread's
+    // workspace arena; the per-image gOm is read in place from
+    // grad_output (its row slice is already the (M, R*C) matrix).
     std::vector<Tensor> gfm_part(static_cast<size_t>(batch));
-    Tensor gbias_part({batch, out_channels_});
+    Tensor gbias_part = Tensor::uninitialized({batch, out_channels_});
     parallel_for(0, batch, 1, [&](int64_t b0, int64_t b1) {
         for (int64_t b = b0; b < b1; ++b) {
-            // Per-image gradient of the output matrix Om: (M, R*C).
-            Tensor gom({out_channels_, oh * ow});
-            const float* src =
-                grad_output.data() + b * out_channels_ * oh * ow;
-            std::copy(src, src + out_channels_ * oh * ow, gom.data());
+            Workspace::Scope scope;
+            const float* gom =
+                grad_output.data() + b * out_channels_ * ohw;
+            float* cols = Workspace::local().alloc(ckk * ohw);
+            im2col_into(cached_input_, b, g, cols);
 
             // dL/dFm contribution: dL/dOm * Dm^T.
-            const Tensor cols = im2col(cached_input_, b, g);
-            gfm_part[static_cast<size_t>(b)] = matmul_tb(gom, cols);
+            tb_calls.add(1);
+            tb_flops.add(2 * out_channels_ * ohw * ckk);
+            Tensor& part = gfm_part[static_cast<size_t>(b)];
+            part = Tensor::uninitialized({out_channels_, ckk});
+            gemm(out_channels_, ckk, ohw, gom, ohw, 1, cols, 1, ohw,
+                 part.data(), be);
 
             // dL/dDm = Fm^T * dL/dOm, scattered back with col2im.
-            const Tensor gcols = matmul_ta(fm, gom);
+            ta_calls.add(1);
+            ta_flops.add(2 * ckk * out_channels_ * ohw);
+            float* gcols = Workspace::local().alloc(ckk * ohw);
+            gemm(ckk, ohw, out_channels_, fm, 1, ckk, gom, ohw, 1,
+                 gcols, be);
             col2im_accumulate(gcols, grad_input, b, g);
 
             // dL/dbias contribution: sum over spatial positions.
             float* brow = gbias_part.data() + b * out_channels_;
             for (int64_t m = 0; m < out_channels_; ++m) {
                 float acc = 0.0f;
-                const float* row = gom.data() + m * oh * ow;
-                for (int64_t i = 0; i < oh * ow; ++i) acc += row[i];
+                const float* row = gom + m * ohw;
+                for (int64_t i = 0; i < ohw; ++i) acc += row[i];
                 brow[m] = acc;
             }
         }
     });
+    // Serial fold in batch order; (M, N*K*K) partials accumulate
+    // straight into the (M, N, K, K) grad — same flat layout.
+    float* gw = weight_->grad().data();
     for (int64_t b = 0; b < batch; ++b) {
-        grad_fm += gfm_part[static_cast<size_t>(b)];
+        const float* src = gfm_part[static_cast<size_t>(b)].data();
+        for (int64_t i = 0; i < out_channels_ * ckk; ++i)
+            gw[i] += src[i];
         const float* brow = gbias_part.data() + b * out_channels_;
         for (int64_t m = 0; m < out_channels_; ++m) gb[m] += brow[m];
     }
-    weight_->grad() += grad_fm.reshape(
-        {out_channels_, in_channels_, kernel_, kernel_});
     return grad_input;
 }
 

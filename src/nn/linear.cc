@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -39,8 +40,10 @@ Linear::forward(const Tensor& input, bool /*training*/)
     const float* pb = bias_->value().data();
     const int64_t batch = out.dim(0);
     float* po = out.data();
-    // Batch-parallel bias add: disjoint rows.
-    parallel_for(0, batch, 64, [&](int64_t b0, int64_t b1) {
+    // Batch-parallel bias add: disjoint rows, chunked so each chunk
+    // carries enough work to be worth handing to a worker.
+    parallel_for(0, batch, flops_grain(out_features_),
+                 [&](int64_t b0, int64_t b1) {
         for (int64_t b = b0; b < b1; ++b)
             for (int64_t j = 0; j < out_features_; ++j)
                 po[b * out_features_ + j] += pb[j];
@@ -65,7 +68,8 @@ Linear::backward(const Tensor& grad_output)
     float* gb = bias_->grad().data();
     const int64_t batch = grad_output.dim(0);
     const float* gy = grad_output.data();
-    parallel_for(0, out_features_, 64, [&](int64_t j0, int64_t j1) {
+    parallel_for(0, out_features_, flops_grain(batch),
+                 [&](int64_t j0, int64_t j1) {
         for (int64_t j = j0; j < j1; ++j)
             for (int64_t b = 0; b < batch; ++b)
                 gb[j] += gy[b * out_features_ + j];

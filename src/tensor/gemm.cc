@@ -1,0 +1,335 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "tensor/workspace.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define INSITU_GEMM_X86 1
+#include <immintrin.h>
+#endif
+
+namespace insitu {
+
+namespace {
+
+/*
+ * Blocking constants. Compile-time and INSITU_THREADS-independent by
+ * contract (see gemm.h). Sized for a ~48 KiB L1d / ~1 MiB+ L2 class
+ * core:
+ *
+ *   MR x NR   register tile; MR*NR accumulators stay live across KC.
+ *   KC        panel depth: one B slab (NR*KC*4 = 16 KiB) is L1-hot
+ *             while the microkernel sweeps a block of C rows.
+ *   MC        A block (MC*KC*4 = 64 KiB) sits in L2; also the only
+ *             granularity parallel_for may split on.
+ *   NC        B panel width (KC*NC*4 = 1 MiB ceiling per packed
+ *             panel); loops of C columns beyond it are serial.
+ */
+constexpr int64_t MR = 4;
+constexpr int64_t NR = 16;
+constexpr int64_t MC = 64;
+constexpr int64_t KC = 256;
+constexpr int64_t NC = 1024;
+
+static_assert(MC % MR == 0 && NC % NR == 0,
+              "cache blocks must tile evenly into register tiles");
+static_assert(NR * sizeof(float) % 64 == 0,
+              "packed B rows must preserve 64-byte alignment");
+
+/**
+ * Microkernel: tile(MR,NR) = sum_{kk<kc} apan(kk,:) x bpan(kk,:).
+ * `apan` is MR-major per k step (apan[kk*MR + i]), `bpan` NR-major
+ * (bpan[kk*NR + j]); both are packed, unit-stride, zero-padded.
+ * Every tile element accumulates in ascending-k order.
+ */
+using MicroFn = void (*)(int64_t kc, const float* apan,
+                         const float* bpan, float* tile);
+
+void
+micro_portable(int64_t kc, const float* apan, const float* bpan,
+               float* tile)
+{
+    for (int64_t x = 0; x < MR * NR; ++x) tile[x] = 0.0f;
+    for (int64_t kk = 0; kk < kc; ++kk) {
+        const float* arow = apan + kk * MR;
+        const float* brow = bpan + kk * NR;
+        for (int64_t i = 0; i < MR; ++i) {
+            const float av = arow[i];
+            float* trow = tile + i * NR;
+            // Independent accumulators across j: vectorizable without
+            // reassociation, so the FP order is the scalar order.
+            for (int64_t j = 0; j < NR; ++j) trow[j] += av * brow[j];
+        }
+    }
+}
+
+#ifdef INSITU_GEMM_X86
+/**
+ * Same tile, same ascending-k accumulation order, 8-wide FMA. Built
+ * for AVX2+FMA via the target attribute so the translation unit
+ * itself stays portable; picked at runtime iff the CPU has both.
+ * (FMA rounds once per multiply-add, so tiles differ in low-order
+ * bits from micro_portable — a per-host constant, never a per-width
+ * one: the dispatch decision depends only on the CPU.)
+ */
+__attribute__((target("avx2,fma"))) void
+micro_avx2(int64_t kc, const float* apan, const float* bpan,
+           float* tile)
+{
+    __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+    __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+    __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+    __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+    for (int64_t kk = 0; kk < kc; ++kk) {
+        const __m256 b0 = _mm256_load_ps(bpan + kk * NR);
+        const __m256 b1 = _mm256_load_ps(bpan + kk * NR + 8);
+        const float* a = apan + kk * MR;
+        __m256 av = _mm256_broadcast_ss(a + 0);
+        c00 = _mm256_fmadd_ps(av, b0, c00);
+        c01 = _mm256_fmadd_ps(av, b1, c01);
+        av = _mm256_broadcast_ss(a + 1);
+        c10 = _mm256_fmadd_ps(av, b0, c10);
+        c11 = _mm256_fmadd_ps(av, b1, c11);
+        av = _mm256_broadcast_ss(a + 2);
+        c20 = _mm256_fmadd_ps(av, b0, c20);
+        c21 = _mm256_fmadd_ps(av, b1, c21);
+        av = _mm256_broadcast_ss(a + 3);
+        c30 = _mm256_fmadd_ps(av, b0, c30);
+        c31 = _mm256_fmadd_ps(av, b1, c31);
+    }
+    _mm256_store_ps(tile + 0 * NR, c00);
+    _mm256_store_ps(tile + 0 * NR + 8, c01);
+    _mm256_store_ps(tile + 1 * NR, c10);
+    _mm256_store_ps(tile + 1 * NR + 8, c11);
+    _mm256_store_ps(tile + 2 * NR, c20);
+    _mm256_store_ps(tile + 2 * NR + 8, c21);
+    _mm256_store_ps(tile + 3 * NR, c30);
+    _mm256_store_ps(tile + 3 * NR + 8, c31);
+}
+#endif
+
+MicroFn
+micro_kernel()
+{
+    static const MicroFn fn = [] {
+#ifdef INSITU_GEMM_X86
+        if (__builtin_cpu_supports("avx2") &&
+            __builtin_cpu_supports("fma"))
+            return static_cast<MicroFn>(micro_avx2);
+#endif
+        return static_cast<MicroFn>(micro_portable);
+    }();
+    return fn;
+}
+
+/** Pack the A block rows [i0, i0+mc) x cols [p0, p0+kc) into MR-tall
+ * slabs, zero-padded to a multiple of MR rows. */
+void
+pack_a(const float* a, int64_t a_rs, int64_t a_cs, int64_t i0,
+       int64_t p0, int64_t mc, int64_t kc, float* ap)
+{
+    for (int64_t ir = 0; ir < mc; ir += MR) {
+        float* panel = ap + (ir / MR) * kc * MR;
+        const int64_t mr = std::min(MR, mc - ir);
+        for (int64_t kk = 0; kk < kc; ++kk) {
+            const float* src = a + (i0 + ir) * a_rs + (p0 + kk) * a_cs;
+            float* dst = panel + kk * MR;
+            for (int64_t i = 0; i < mr; ++i) dst[i] = src[i * a_rs];
+            for (int64_t i = mr; i < MR; ++i) dst[i] = 0.0f;
+        }
+    }
+}
+
+/** Pack the B panel rows [p0, p0+kc) x cols [j0, j0+nc) into NR-wide
+ * slabs, zero-padded to a multiple of NR columns. */
+void
+pack_b(const float* b, int64_t b_rs, int64_t b_cs, int64_t p0,
+       int64_t j0, int64_t kc, int64_t nc, float* bp)
+{
+    for (int64_t jr = 0; jr < nc; jr += NR) {
+        float* panel = bp + (jr / NR) * kc * NR;
+        const int64_t nr = std::min(NR, nc - jr);
+        for (int64_t kk = 0; kk < kc; ++kk) {
+            const float* src = b + (p0 + kk) * b_rs + (j0 + jr) * b_cs;
+            float* dst = panel + kk * NR;
+            if (b_cs == 1) {
+                for (int64_t j = 0; j < nr; ++j) dst[j] = src[j];
+            } else {
+                for (int64_t j = 0; j < nr; ++j) dst[j] = src[j * b_cs];
+            }
+            for (int64_t j = nr; j < NR; ++j) dst[j] = 0.0f;
+        }
+    }
+}
+
+void
+gemm_blocked(int64_t m, int64_t n, int64_t k, const float* a,
+             int64_t a_rs, int64_t a_cs, const float* b, int64_t b_rs,
+             int64_t b_cs, float* c)
+{
+    const MicroFn micro = micro_kernel();
+    for (int64_t jc = 0; jc < n; jc += NC) {
+        const int64_t nc = std::min(NC, n - jc);
+        const int64_t bpanels = (nc + NR - 1) / NR;
+        for (int64_t pc = 0; pc < k; pc += KC) {
+            const int64_t kc = std::min(KC, k - pc);
+            const bool first_panel = pc == 0;
+            // One packed B panel per (jc, pc), shared read-only by
+            // every chunk below (parallel_for provides the
+            // happens-before edge for its workers).
+            Workspace::Scope bscope;
+            float* bp = Workspace::local().alloc(bpanels * NR * kc);
+            pack_b(b, b_rs, b_cs, pc, jc, kc, nc, bp);
+            // Width-independent split on MC row-block boundaries
+            // only; each C tile has exactly one writer per KC panel,
+            // and the panels apply serially in ascending-k order.
+            const int64_t mblocks = (m + MC - 1) / MC;
+            parallel_for(0, mblocks, 1, [&](int64_t blk0,
+                                            int64_t blk1) {
+                for (int64_t blk = blk0; blk < blk1; ++blk) {
+                    const int64_t ic = blk * MC;
+                    const int64_t mc = std::min(MC, m - ic);
+                    const int64_t apanels = (mc + MR - 1) / MR;
+                    Workspace::Scope ascope;
+                    float* ap =
+                        Workspace::local().alloc(apanels * MR * kc);
+                    pack_a(a, a_rs, a_cs, ic, pc, mc, kc, ap);
+                    alignas(64) float tile[MR * NR];
+                    for (int64_t jr = 0; jr < nc; jr += NR) {
+                        const float* bpan = bp + (jr / NR) * kc * NR;
+                        const int64_t nr = std::min(NR, nc - jr);
+                        for (int64_t ir = 0; ir < mc; ir += MR) {
+                            const float* apan =
+                                ap + (ir / MR) * kc * MR;
+                            const int64_t mr = std::min(MR, mc - ir);
+                            micro(kc, apan, bpan, tile);
+                            float* cdst =
+                                c + (ic + ir) * n + jc + jr;
+                            if (first_panel) {
+                                for (int64_t i = 0; i < mr; ++i)
+                                    for (int64_t j = 0; j < nr; ++j)
+                                        cdst[i * n + j] =
+                                            tile[i * NR + j];
+                            } else {
+                                for (int64_t i = 0; i < mr; ++i)
+                                    for (int64_t j = 0; j < nr; ++j)
+                                        cdst[i * n + j] +=
+                                            tile[i * NR + j];
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+void
+gemm_naive(int64_t m, int64_t n, int64_t k, const float* a,
+           int64_t a_rs, int64_t a_cs, const float* b, int64_t b_rs,
+           int64_t b_cs, float* c)
+{
+    // The retired production loops, kept as the reference backend:
+    // row-parallel, every element accumulating in ascending-k order
+    // (minus the data-dependent `av == 0` skip, which made latency
+    // input-dependent and blocked vectorization).
+    parallel_for(0, m, flops_grain(2 * k * n), [&](int64_t i0,
+                                                   int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            float* crow = c + i * n;
+            if (b_cs == 1) {
+                for (int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
+                for (int64_t kk = 0; kk < k; ++kk) {
+                    const float av = a[i * a_rs + kk * a_cs];
+                    const float* brow = b + kk * b_rs;
+                    for (int64_t j = 0; j < n; ++j)
+                        crow[j] += av * brow[j];
+                }
+            } else {
+                // Column-strided B (matmul_tb): dot-product order —
+                // the same ascending-k sum per element, unit-stride
+                // loads from both operands.
+                for (int64_t j = 0; j < n; ++j) {
+                    float acc = 0.0f;
+                    for (int64_t kk = 0; kk < k; ++kk)
+                        acc += a[i * a_rs + kk * a_cs] *
+                               b[kk * b_rs + j * b_cs];
+                    crow[j] = acc;
+                }
+            }
+        }
+    });
+}
+
+/// -1 = no override; otherwise a GemmBackend value.
+int g_backend_override = -1;
+
+GemmBackend
+env_backend()
+{
+    static const GemmBackend be = [] {
+        const char* e = std::getenv("INSITU_GEMM");
+        if (e == nullptr || *e == '\0') return GemmBackend::kBlocked;
+        const std::string_view v(e);
+        if (v == "blocked") return GemmBackend::kBlocked;
+        if (v == "naive") return GemmBackend::kNaive;
+        panic("INSITU_GEMM must be 'blocked' or 'naive', got '" +
+              std::string(e) + "'");
+    }();
+    return be;
+}
+
+} // namespace
+
+GemmBackend
+gemm_backend()
+{
+    if (g_backend_override >= 0)
+        return static_cast<GemmBackend>(g_backend_override);
+    return env_backend();
+}
+
+const char*
+gemm_backend_name()
+{
+    return gemm_backend() == GemmBackend::kBlocked ? "blocked"
+                                                   : "naive";
+}
+
+void
+set_gemm_backend(GemmBackend backend)
+{
+    g_backend_override = static_cast<int>(backend);
+}
+
+int64_t
+flops_grain(int64_t flops_per_row)
+{
+    constexpr int64_t kFlopsPerChunk = 1 << 16;
+    return std::max<int64_t>(
+        1, kFlopsPerChunk / std::max<int64_t>(1, flops_per_row));
+}
+
+void
+gemm(int64_t m, int64_t n, int64_t k, const float* a, int64_t a_rs,
+     int64_t a_cs, const float* b, int64_t b_rs, int64_t b_cs,
+     float* c, GemmBackend backend)
+{
+    if (m <= 0 || n <= 0) return;
+    if (k <= 0) {
+        std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+        return;
+    }
+    if (backend == GemmBackend::kBlocked)
+        gemm_blocked(m, n, k, a, a_rs, a_cs, b, b_rs, b_cs, c);
+    else
+        gemm_naive(m, n, k, a, a_rs, a_cs, b, b_rs, b_cs, c);
+}
+
+} // namespace insitu

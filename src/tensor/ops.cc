@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "tensor/gemm.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -28,19 +29,6 @@ kernel_counter(const char* name)
     return obs::MetricsRegistry::global().counter(name);
 }
 
-/**
- * Rows per parallel chunk for a GEMM whose rows cost @p flops_per_row.
- * Depends only on the problem shape (never the thread count), so the
- * decomposition — and with it the result — is deterministic.
- */
-int64_t
-row_grain(int64_t flops_per_row)
-{
-    constexpr int64_t kFlopsPerChunk = 1 << 16;
-    return std::max<int64_t>(
-        1, kFlopsPerChunk / std::max<int64_t>(1, flops_per_row));
-}
-
 } // namespace
 
 Tensor
@@ -53,25 +41,9 @@ matmul(const Tensor& a, const Tensor& b)
     static auto& calls = kernel_counter("tensor.matmul.calls");
     static auto& flops = kernel_counter("tensor.matmul.flops");
     tally_kernel(calls, flops, 2 * m * k * n);
-    Tensor c({m, n});
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* pc = c.data();
-    // Row-parallel ikj loop order: each chunk owns a block of C rows
-    // (disjoint writes), every element accumulates over kk ascending —
-    // bit-identical at any thread count.
-    parallel_for(0, m, row_grain(2 * k * n),
-                 [&](int64_t i0, int64_t i1) {
-        for (int64_t i = i0; i < i1; ++i) {
-            float* crow = pc + i * n;
-            for (int64_t kk = 0; kk < k; ++kk) {
-                const float av = pa[i * k + kk];
-                if (av == 0.0f) continue;
-                const float* brow = pb + kk * n;
-                for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-            }
-        }
-    });
+    Tensor c = Tensor::uninitialized({m, n});
+    gemm(m, n, k, a.data(), k, 1, b.data(), n, 1, c.data(),
+         gemm_backend());
     return c;
 }
 
@@ -85,24 +57,10 @@ matmul_ta(const Tensor& a, const Tensor& b)
     static auto& calls = kernel_counter("tensor.matmul_ta.calls");
     static auto& flops = kernel_counter("tensor.matmul_ta.flops");
     tally_kernel(calls, flops, 2 * m * k * n);
-    Tensor c({m, n});
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* pc = c.data();
-    // Row-parallel over C rows; A is walked down its column i (stride
-    // m), B rows stream. Accumulation stays kk ascending per element.
-    parallel_for(0, m, row_grain(2 * k * n),
-                 [&](int64_t i0, int64_t i1) {
-        for (int64_t i = i0; i < i1; ++i) {
-            float* crow = pc + i * n;
-            for (int64_t kk = 0; kk < k; ++kk) {
-                const float av = pa[kk * m + i];
-                if (av == 0.0f) continue;
-                const float* brow = pb + kk * n;
-                for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-            }
-        }
-    });
+    Tensor c = Tensor::uninitialized({m, n});
+    // A is stored (k, m): logical A(i, kk) lives at pa[kk * m + i].
+    gemm(m, n, k, a.data(), 1, m, b.data(), n, 1, c.data(),
+         gemm_backend());
     return c;
 }
 
@@ -116,29 +74,25 @@ matmul_tb(const Tensor& a, const Tensor& b)
     static auto& calls = kernel_counter("tensor.matmul_tb.calls");
     static auto& flops = kernel_counter("tensor.matmul_tb.flops");
     tally_kernel(calls, flops, 2 * m * k * n);
-    Tensor c({m, n});
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* pc = c.data();
-    parallel_for(0, m, row_grain(2 * k * n),
-                 [&](int64_t i0, int64_t i1) {
-        for (int64_t i = i0; i < i1; ++i) {
-            const float* arow = pa + i * k;
-            float* crow = pc + i * n;
-            for (int64_t j = 0; j < n; ++j) {
-                const float* brow = pb + j * k;
-                float acc = 0.0f;
-                for (int64_t kk = 0; kk < k; ++kk)
-                    acc += arow[kk] * brow[kk];
-                crow[j] = acc;
-            }
-        }
-    });
+    Tensor c = Tensor::uninitialized({m, n});
+    // B is stored (n, k): logical B(kk, j) lives at pb[j * k + kk].
+    gemm(m, n, k, a.data(), k, 1, b.data(), 1, k, c.data(),
+         gemm_backend());
     return c;
 }
 
 Tensor
 im2col(const Tensor& input, int64_t batch_index, const ConvGeometry& g)
+{
+    Tensor cols = Tensor::uninitialized(
+        {g.in_channels * g.kernel * g.kernel, g.out_h() * g.out_w()});
+    im2col_into(input, batch_index, g, cols.data());
+    return cols;
+}
+
+void
+im2col_into(const Tensor& input, int64_t batch_index,
+            const ConvGeometry& g, float* out)
 {
     INSITU_CHECK(input.rank() == 4, "im2col expects NCHW input");
     INSITU_CHECK(input.dim(1) == g.in_channels &&
@@ -148,10 +102,8 @@ im2col(const Tensor& input, int64_t batch_index, const ConvGeometry& g)
                  "im2col batch index");
     const int64_t oh = g.out_h(), ow = g.out_w();
     INSITU_CHECK(oh > 0 && ow > 0, "conv output would be empty");
-    Tensor cols({g.in_channels * g.kernel * g.kernel, oh * ow});
     const float* in = input.data() +
                       batch_index * g.in_channels * g.in_h * g.in_w;
-    float* out = cols.data();
     const int64_t ncols = oh * ow;
     for (int64_t c = 0; c < g.in_channels; ++c) {
         for (int64_t ky = 0; ky < g.kernel; ++ky) {
@@ -174,7 +126,6 @@ im2col(const Tensor& input, int64_t batch_index, const ConvGeometry& g)
             }
         }
     }
-    return cols;
 }
 
 Tensor
@@ -197,7 +148,7 @@ conv2d_direct(const Tensor& input, const Tensor& weight,
     tally_kernel(calls, flops,
                  2 * batch * m * g.in_channels * oh * ow * g.kernel *
                      g.kernel);
-    Tensor out({batch, m, oh, ow});
+    Tensor out = Tensor::uninitialized({batch, m, oh, ow});
     const float* in = input.data();
     const float* w = weight.data();
     const float* pb = bias.data();
@@ -245,15 +196,23 @@ void
 col2im_accumulate(const Tensor& cols, Tensor& grad_input,
                   int64_t batch_index, const ConvGeometry& g)
 {
-    INSITU_CHECK(grad_input.rank() == 4, "col2im expects NCHW grad");
     const int64_t oh = g.out_h(), ow = g.out_w();
     INSITU_CHECK(cols.rank() == 2 &&
                      cols.dim(0) == g.in_channels * g.kernel * g.kernel &&
                      cols.dim(1) == oh * ow,
                  "col2im cols shape mismatch");
+    col2im_accumulate(cols.data(), grad_input, batch_index, g);
+}
+
+void
+col2im_accumulate(const float* cols, Tensor& grad_input,
+                  int64_t batch_index, const ConvGeometry& g)
+{
+    INSITU_CHECK(grad_input.rank() == 4, "col2im expects NCHW grad");
+    const int64_t oh = g.out_h(), ow = g.out_w();
     float* out = grad_input.data() +
                  batch_index * g.in_channels * g.in_h * g.in_w;
-    const float* in = cols.data();
+    const float* in = cols;
     const int64_t ncols = oh * ow;
     for (int64_t c = 0; c < g.in_channels; ++c) {
         for (int64_t ky = 0; ky < g.kernel; ++ky) {

@@ -6,6 +6,10 @@
  * converted to matrix multiplication via im2col (step 1), filter
  * flattening (step 2), and GEMM (step 3) — so the substrate implements
  * the same scheme the GPU characterization models.
+ *
+ * The matmul* entry points dispatch to the blocked/packed kernels of
+ * tensor/gemm.h (or the naive reference backend via INSITU_GEMM);
+ * both are bit-identical across thread widths.
  */
 #pragma once
 
@@ -54,10 +58,23 @@ Tensor im2col(const Tensor& input, int64_t batch_index,
               const ConvGeometry& geom);
 
 /**
+ * im2col into caller-owned storage (typically a `Workspace` borrow):
+ * fully overwrites @p cols, which must hold
+ * `geom.in_channels * geom.kernel^2 * geom.out_h() * geom.out_w()`
+ * floats. This is the alloc-free path the conv layer runs per image.
+ */
+void im2col_into(const Tensor& input, int64_t batch_index,
+                 const ConvGeometry& geom, float* cols);
+
+/**
  * Scatter-add a (C*K*K, R*C) column-gradient matrix back into an image
  * gradient (accumulates into @p grad_input at @p batch_index).
  */
 void col2im_accumulate(const Tensor& cols, Tensor& grad_input,
+                       int64_t batch_index, const ConvGeometry& geom);
+
+/** col2im from caller-owned column storage (layout as im2col_into). */
+void col2im_accumulate(const float* cols, Tensor& grad_input,
                        int64_t batch_index, const ConvGeometry& geom);
 
 /**

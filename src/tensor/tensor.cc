@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <sstream>
 
@@ -43,11 +44,27 @@ Tensor::Tensor(std::vector<int64_t> shape, float value)
 }
 
 Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)),
-      numel_(shape_numel(shape_))
+    : shape_(std::move(shape)), numel_(shape_numel(shape_))
 {
-    INSITU_CHECK(static_cast<int64_t>(data_.size()) == numel_,
-                 "data size ", data_.size(), " != shape numel ", numel_);
+    INSITU_CHECK(static_cast<int64_t>(data.size()) == numel_,
+                 "data size ", data.size(), " != shape numel ", numel_);
+    data_.resize(static_cast<size_t>(numel_)); // uninitialized
+    std::memcpy(data_.data(), data.data(),
+                static_cast<size_t>(numel_) * sizeof(float));
+}
+
+Tensor::Tensor(UninitTag, std::vector<int64_t> shape)
+    : shape_(std::move(shape)), numel_(shape_numel(shape_))
+{
+    // resize() default-inserts, which AlignedUninitAlloc leaves
+    // uninitialized — allocation without the zero-fill.
+    data_.resize(static_cast<size_t>(numel_));
+}
+
+Tensor
+Tensor::uninitialized(std::vector<int64_t> shape)
+{
+    return Tensor(UninitTag{}, std::move(shape));
 }
 
 int64_t
@@ -149,8 +166,10 @@ Tensor::reshape(std::vector<int64_t> new_shape) const
                      "cannot infer reshape dimension");
         new_shape[static_cast<size_t>(infer_at)] = numel_ / known;
     }
-    Tensor out(std::move(new_shape), data_);
+    Tensor out(UninitTag{}, std::move(new_shape));
     INSITU_CHECK(out.numel() == numel_, "reshape changes element count");
+    std::memcpy(out.data(), data_.data(),
+                static_cast<size_t>(numel_) * sizeof(float));
     return out;
 }
 
@@ -163,10 +182,12 @@ Tensor::slice0(int64_t begin, int64_t end) const
     int64_t inner = numel_ / std::max<int64_t>(shape_[0], 1);
     std::vector<int64_t> out_shape = shape_;
     out_shape[0] = end - begin;
-    std::vector<float> out_data(
-        data_.begin() + static_cast<size_t>(begin * inner),
-        data_.begin() + static_cast<size_t>(end * inner));
-    return Tensor(std::move(out_shape), std::move(out_data));
+    Tensor out(UninitTag{}, std::move(out_shape));
+    std::memcpy(out.data(),
+                data_.data() + static_cast<size_t>(begin * inner),
+                static_cast<size_t>((end - begin) * inner) *
+                    sizeof(float));
+    return out;
 }
 
 Tensor&

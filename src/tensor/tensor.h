@@ -8,13 +8,74 @@
  */
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <new>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace insitu {
 
 class Rng;
+
+namespace detail {
+
+/**
+ * Allocator for tensor storage: 64-byte-aligned blocks (SIMD- and
+ * cache-line-friendly for the GEMM kernels), and default-inserted
+ * floats are left *uninitialized* — `resize()` on a fresh buffer
+ * costs no memset. Value-initialization (`assign(n, 0.0f)` etc.)
+ * still fills as usual, so only the explicit
+ * `Tensor::uninitialized()` path skips the zero-fill.
+ */
+template <typename T> struct AlignedUninitAlloc {
+    using value_type = T;
+
+    AlignedUninitAlloc() noexcept = default;
+    template <typename U>
+    AlignedUninitAlloc(const AlignedUninitAlloc<U>&) noexcept
+    {
+    }
+
+    T*
+    allocate(std::size_t n)
+    {
+        return static_cast<T*>(
+            ::operator new(n * sizeof(T), std::align_val_t{64}));
+    }
+
+    void
+    deallocate(T* p, std::size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t{64});
+    }
+
+    /// Default-insert: leave trivially-destructible storage alone.
+    template <typename U> void construct(U*) noexcept {}
+
+    template <typename U, typename... Args>
+    void
+    construct(U* p, Args&&... args)
+    {
+        ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    }
+
+    template <typename U>
+    bool
+    operator==(const AlignedUninitAlloc<U>&) const noexcept
+    {
+        return true;
+    }
+    template <typename U>
+    bool
+    operator!=(const AlignedUninitAlloc<U>&) const noexcept
+    {
+        return false;
+    }
+};
+
+} // namespace detail
 
 /**
  * A dense float tensor with value semantics.
@@ -33,8 +94,18 @@ class Tensor {
     /** Tensor of the given shape filled with @p value. */
     Tensor(std::vector<int64_t> shape, float value);
 
-    /** Tensor wrapping the given flat data (size must match shape). */
+    /** Tensor holding a copy of the given flat data (size must match
+     * shape). */
     Tensor(std::vector<int64_t> shape, std::vector<float> data);
+
+    /**
+     * Tensor of the given shape with **uninitialized** contents.
+     * Strictly for outputs every element of which is about to be
+     * overwritten (GEMM results, im2col columns, layer outputs);
+     * reading before writing is undefined. Everything else keeps the
+     * zero-init default.
+     */
+    static Tensor uninitialized(std::vector<int64_t> shape);
 
     /** Shape vector; shape()[i] is the extent of dimension i. */
     const std::vector<int64_t>& shape() const { return shape_; }
@@ -115,10 +186,13 @@ class Tensor {
     }
 
   private:
+    struct UninitTag {};
+    Tensor(UninitTag, std::vector<int64_t> shape);
+
     void check_rank(int64_t want) const;
 
     std::vector<int64_t> shape_;
-    std::vector<float> data_;
+    std::vector<float, detail::AlignedUninitAlloc<float>> data_;
     int64_t numel_ = 0;
 };
 
