@@ -81,7 +81,7 @@ else
     for needle in 'tensor.' 'nn.forward' 'nn.backward' 'iot.uplink' \
             'iot.fleet' 'iot.breaker' 'iot.supervisor' \
             'faults.injected' 'cloud.' 'parallel.' 'bench.' \
-            'INSITU_TELEMETRY_JSONL' 'wall_s'; do
+            'storage.' 'INSITU_TELEMETRY_JSONL' 'wall_s'; do
         if ! grep -qF "$needle" "$obs"; then
             note "docs/observability.md does not mention $needle"
             fail=1

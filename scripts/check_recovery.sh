@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Crash-consistency checker for the crash_recovery example, run as a
+# ctest (`check_recovery`). The example kills durable state at every
+# WAL/snapshot byte offset and asserts old-or-new recovery internally;
+# this script adds the determinism half of the contract: the whole
+# transcript — fault injections, recovery decisions, resumed-stage
+# numbers — must be byte-identical at INSITU_THREADS=1 and 4, and the
+# key recovery milestones must actually appear.
+#
+# Usage: check_recovery.sh <path-to-crash_recovery-binary>
+set -u
+
+if [ $# -ne 1 ] || [ ! -x "$1" ]; then
+    printf 'usage: %s <crash_recovery binary>\n' "$0" >&2
+    exit 2
+fi
+# The runs cd into private scratch dirs, so the path must survive it.
+binary="$(cd "$(dirname "$1")" && pwd)/$(basename "$1")"
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+# The example writes its durable state under its working directory;
+# give each run a private one so the two runs cannot see each other.
+for threads in 1 4; do
+    mkdir -p "$tmpdir/run$threads"
+    if ! (cd "$tmpdir/run$threads" &&
+            INSITU_THREADS=$threads "$binary" \
+                > "$tmpdir/threads$threads.out" 2>&1); then
+        printf 'check_recovery: FAILED (exit code at threads=%s)\n' \
+            "$threads" >&2
+        cat "$tmpdir/threads$threads.out" >&2
+        exit 1
+    fi
+done
+
+if ! diff -u "$tmpdir/threads1.out" "$tmpdir/threads4.out" >&2; then
+    printf 'check_recovery: FAILED (recovery transcript differs across thread counts)\n' >&2
+    exit 1
+fi
+
+for needle in \
+        'truncation sweep' \
+        'bit-rot sweep' \
+        'commit-protocol sweep' \
+        'kill-anywhere sweep' \
+        'recovered: stage_index=2' \
+        'crash_recovery: OK'; do
+    if ! grep -q "$needle" "$tmpdir/threads1.out"; then
+        printf 'check_recovery: FAILED (missing "%s" in transcript)\n' \
+            "$needle" >&2
+        cat "$tmpdir/threads1.out" >&2
+        exit 1
+    fi
+done
+
+printf 'check_recovery: OK (%s lines bit-identical at threads 1 and 4)\n' \
+    "$(wc -l < "$tmpdir/threads1.out")"

@@ -3,9 +3,41 @@
 #include <sstream>
 
 #include "nn/serialize.h"
+#include "storage/codec.h"
+#include "storage/wal.h"
 #include "util/logging.h"
 
 namespace insitu {
+
+namespace {
+
+/** WAL payload of one commit: metadata, then the weight blob. */
+std::string
+encode_commit(const ModelVersion& v, const std::string& blob)
+{
+    std::string out;
+    storage::put_i64(out, v.id);
+    storage::put_bytes(out, v.tag);
+    storage::put_f64(out, v.validation_accuracy);
+    storage::put_i64(out, v.trained_images);
+    storage::put_bytes(out, blob);
+    return out;
+}
+
+bool
+decode_commit(const std::string& payload, ModelVersion& v,
+              std::string& blob)
+{
+    storage::Reader r(payload);
+    v.id = r.i64();
+    v.tag = r.bytes();
+    v.validation_accuracy = r.f64();
+    v.trained_images = r.i64();
+    blob = r.bytes();
+    return r.ok && r.remaining() == 0;
+}
+
+} // namespace
 
 int64_t
 ModelRegistry::commit(const Network& net, std::string tag,
@@ -21,7 +53,34 @@ ModelRegistry::commit(const Network& net, std::string tag,
     v.validation_accuracy = validation_accuracy;
     v.trained_images = trained_images;
     versions_.push_back(v);
+    if (wal_ != nullptr)
+        wal_->append(kWalRegistryCommit,
+                     encode_commit(v, blobs_.back()));
     return v.id;
+}
+
+size_t
+ModelRegistry::replay(const std::vector<storage::WalRecord>& records)
+{
+    size_t applied = 0;
+    for (const auto& rec : records) {
+        if (rec.type != kWalRegistryCommit) continue;
+        ModelVersion v;
+        std::string blob;
+        if (!decode_commit(rec.payload, v, blob)) {
+            warn("skipping malformed registry WAL record");
+            continue;
+        }
+        if (v.id != static_cast<int64_t>(versions_.size()) + 1) {
+            warn("skipping out-of-order registry WAL record " +
+                 std::to_string(v.id));
+            continue;
+        }
+        versions_.push_back(std::move(v));
+        blobs_.push_back(std::move(blob));
+        ++applied;
+    }
+    return applied;
 }
 
 bool

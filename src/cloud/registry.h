@@ -18,6 +18,16 @@
 
 namespace insitu {
 
+namespace storage {
+class Wal;
+struct WalRecord;
+}
+
+/// Record types in the cloud's durability WAL (one log carries both
+/// registry commits and explicit rollback events).
+constexpr uint32_t kWalRegistryCommit = 1; ///< one ModelRegistry::commit
+constexpr uint32_t kWalCloudRollback = 2;  ///< one rollback_to event
+
 /** Metadata of one stored version. */
 struct ModelVersion {
     int64_t id = 0;
@@ -65,9 +75,26 @@ class ModelRegistry {
 
     size_t size() const { return versions_.size(); }
 
+    /**
+     * Attach a write-ahead log: every subsequent commit also appends a
+     * kWalRegistryCommit record (metadata + weight blob), so the full
+     * version history survives a cloud crash. Pass nullptr to detach.
+     * The registry does not own the log.
+     */
+    void attach_wal(storage::Wal* wal) { wal_ = wal; }
+
+    /**
+     * Rebuild the version history from recovered WAL records (records
+     * of other types are ignored; malformed or out-of-order commits
+     * are skipped with a warning). Nothing is re-appended to any
+     * attached log. @return the number of versions restored.
+     */
+    size_t replay(const std::vector<storage::WalRecord>& records);
+
   private:
     std::vector<ModelVersion> versions_;
     std::vector<std::string> blobs_; ///< serialized weights per version
+    storage::Wal* wal_ = nullptr;    ///< optional durability log
 };
 
 } // namespace insitu

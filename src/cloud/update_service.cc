@@ -5,6 +5,8 @@
 #include "nn/trainer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/codec.h"
+#include "storage/wal.h"
 #include "util/logging.h"
 
 namespace insitu {
@@ -148,6 +150,14 @@ ModelUpdateService::rollback_to(int64_t version,
              std::to_string(version));
         return false;
     }
+    if (wal_ != nullptr) {
+        // Log the *decision* ahead of the registry commit it causes,
+        // so a recovered history shows why the next version exists.
+        std::string payload;
+        storage::put_i64(payload, version);
+        storage::put_bytes(payload, tag);
+        wal_->append(kWalCloudRollback, payload);
+    }
     static auto& rollbacks = cloud_counter("cloud.rollbacks");
     rollbacks.add(1);
     obs::TraceRecorder::global().instant(
@@ -156,6 +166,29 @@ ModelUpdateService::rollback_to(int64_t version,
     registry_.commit(inference_, tag, meta->validation_accuracy,
                      images_received_);
     return true;
+}
+
+void
+ModelUpdateService::attach_wal(storage::Wal* wal)
+{
+    wal_ = wal;
+    registry_.attach_wal(wal);
+}
+
+size_t
+ModelUpdateService::recover(
+    const std::vector<storage::WalRecord>& records)
+{
+    const size_t applied = registry_.replay(records);
+    const auto latest = registry_.latest();
+    if (latest) {
+        INSITU_CHECK(registry_.restore(latest->id, inference_),
+                     "recovered registry blob failed to restore");
+        images_received_ = latest->trained_images;
+    }
+    static auto& recoveries = cloud_counter("cloud.recoveries");
+    recoveries.add(1);
+    return applied;
 }
 
 double

@@ -109,6 +109,23 @@ class ModelUpdateService {
     bool rollback_to(int64_t version,
                      const std::string& tag = "rollback");
 
+    /**
+     * Attach the cloud's durability log: registry commits and
+     * explicit rollbacks are recorded from here on. The service does
+     * not own the log; pass nullptr to detach.
+     */
+    void attach_wal(storage::Wal* wal);
+
+    /**
+     * Crash-recovery path: replay recovered WAL records into the
+     * registry, restore the inference network to the latest recovered
+     * version, and resume the images-received tally from its
+     * metadata. The jigsaw/pretext state is not durably logged — the
+     * inference lineage (what canaries and rollbacks act on) is.
+     * @return the number of registry versions restored.
+     */
+    size_t recover(const std::vector<storage::WalRecord>& records);
+
     /** Inference accuracy on a labeled dataset. */
     double evaluate(const Dataset& data);
 
@@ -136,6 +153,7 @@ class ModelUpdateService {
     JigsawNetwork jigsaw_;
     Network inference_;
     ModelRegistry registry_;
+    storage::Wal* wal_ = nullptr; ///< optional durability log
     int64_t images_received_ = 0;
 };
 

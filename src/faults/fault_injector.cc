@@ -20,7 +20,8 @@ fault_counter(const char* kind)
 } // namespace
 
 FaultInjector::FaultInjector(FaultPlan plan)
-    : plan_(std::move(plan)), rng_(plan_.seed)
+    : plan_(std::move(plan)), rng_(plan_.seed),
+      storage_rng_(plan_.seed ^ 0x5704A6EULL)
 {
     plan_.validated();
 }
@@ -83,6 +84,68 @@ FaultInjector::update_poisoned(int stage)
         c.add(1);
     }
     return poisoned;
+}
+
+bool
+FaultInjector::torn_write()
+{
+    // A zero probability consumes no draw, so plans without storage
+    // faults keep the storage stream untouched.
+    if (plan_.torn_write_prob == 0.0) return false;
+    const bool torn = storage_rng_.bernoulli(plan_.torn_write_prob);
+    if (torn) {
+        ++log_.torn_writes;
+        static auto& c = fault_counter("torn_write");
+        c.add(1);
+    }
+    return torn;
+}
+
+bool
+FaultInjector::bit_rot()
+{
+    if (plan_.bit_rot_prob == 0.0) return false;
+    const bool rot = storage_rng_.bernoulli(plan_.bit_rot_prob);
+    if (rot) {
+        ++log_.bit_rots;
+        static auto& c = fault_counter("bit_rot");
+        c.add(1);
+    }
+    return rot;
+}
+
+bool
+FaultInjector::crash_mid_commit()
+{
+    if (plan_.crash_mid_commit_prob == 0.0) return false;
+    const bool crash =
+        storage_rng_.bernoulli(plan_.crash_mid_commit_prob);
+    if (crash) {
+        ++log_.mid_commit_crashes;
+        static auto& c = fault_counter("crash_mid_commit");
+        c.add(1);
+    }
+    return crash;
+}
+
+bool
+FaultInjector::stale_snapshot()
+{
+    if (plan_.stale_snapshot_prob == 0.0) return false;
+    const bool stale =
+        storage_rng_.bernoulli(plan_.stale_snapshot_prob);
+    if (stale) {
+        ++log_.stale_snapshots;
+        static auto& c = fault_counter("stale_snapshot");
+        c.add(1);
+    }
+    return stale;
+}
+
+uint64_t
+FaultInjector::storage_cut(uint64_t n)
+{
+    return storage_rng_.next_below(n);
 }
 
 } // namespace insitu

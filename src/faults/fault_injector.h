@@ -27,6 +27,10 @@ struct FaultLog {
     int64_t flapping_failures = 0;  ///< attempts eaten by a flap burst
     int64_t crashes = 0;            ///< node reboot events fired
     int64_t poisoned_updates = 0;   ///< poisoned stages fired
+    int64_t torn_writes = 0;        ///< durable writes cut to a prefix
+    int64_t bit_rots = 0;           ///< persisted buffers bit-flipped
+    int64_t mid_commit_crashes = 0; ///< snapshot renames that never ran
+    int64_t stale_snapshots = 0;    ///< snapshot replaces silently lost
 };
 
 /** Decides, reproducibly, which planned faults actually happen. */
@@ -69,9 +73,37 @@ class FaultInjector {
     /** Fire (and log) a planned poisoned update at @p stage. */
     bool update_poisoned(int stage);
 
+    // Storage faults (consumed by storage::FaultyFile). These draw
+    // from a *separate* seeded stream, so attaching storage faults to
+    // a plan never perturbs the payload loss/corruption replay
+    // sequence — and a plan whose storage probabilities are all zero
+    // consumes no storage draws at all. Storage writes happen only on
+    // the serial side of the fleet's phases, so the draw order is
+    // replay-stable.
+
+    /** Draw: does this durable write persist only a prefix? */
+    bool torn_write();
+
+    /** Draw: does this persisted buffer gain a flipped bit? */
+    bool bit_rot();
+
+    /** Draw: does the process die before the snapshot rename? */
+    bool crash_mid_commit();
+
+    /** Draw: is this snapshot replace silently dropped? */
+    bool stale_snapshot();
+
+    /**
+     * Deterministic uniform in [0, n) from the storage stream, used
+     * to place a tear or a flipped bit inside a faulted buffer.
+     * @p n must be > 0.
+     */
+    uint64_t storage_cut(uint64_t n);
+
   private:
     FaultPlan plan_;
     Rng rng_;
+    Rng storage_rng_;
     FaultLog log_;
 };
 

@@ -17,6 +17,10 @@ fault_kind_name(FaultKind kind)
     case FaultKind::kPayloadCorruption: return "payload-corruption";
     case FaultKind::kNodeCrash: return "node-crash";
     case FaultKind::kPoisonedUpdate: return "poisoned-update";
+    case FaultKind::kTornWrite: return "torn-write";
+    case FaultKind::kBitRot: return "bit-rot";
+    case FaultKind::kCrashMidCommit: return "crash-mid-commit";
+    case FaultKind::kStaleSnapshot: return "stale-snapshot";
     }
     return "?";
 }
@@ -26,7 +30,15 @@ FaultPlan::empty() const
 {
     return outages.empty() && flapping.empty() &&
            payload_loss_prob == 0.0 && payload_corrupt_prob == 0.0 &&
-           crashes.empty() && poisoned_stages.empty();
+           crashes.empty() && poisoned_stages.empty() &&
+           !storage_faulty();
+}
+
+bool
+FaultPlan::storage_faulty() const
+{
+    return torn_write_prob > 0.0 || bit_rot_prob > 0.0 ||
+           crash_mid_commit_prob > 0.0 || stale_snapshot_prob > 0.0;
 }
 
 bool
@@ -93,6 +105,16 @@ FaultPlan::validated() const
     INSITU_CHECK(
         payload_corrupt_prob >= 0.0 && payload_corrupt_prob <= 1.0,
         "payload_corrupt_prob must be a probability");
+    INSITU_CHECK(torn_write_prob >= 0.0 && torn_write_prob <= 1.0,
+                 "torn_write_prob must be a probability");
+    INSITU_CHECK(bit_rot_prob >= 0.0 && bit_rot_prob <= 1.0,
+                 "bit_rot_prob must be a probability");
+    INSITU_CHECK(
+        crash_mid_commit_prob >= 0.0 && crash_mid_commit_prob <= 1.0,
+        "crash_mid_commit_prob must be a probability");
+    INSITU_CHECK(
+        stale_snapshot_prob >= 0.0 && stale_snapshot_prob <= 1.0,
+        "stale_snapshot_prob must be a probability");
     for (const OutageWindow& w : outages)
         INSITU_CHECK(w.to_s >= w.from_s, "outage window must be ordered");
     for (const FlappingWindow& w : flapping) {

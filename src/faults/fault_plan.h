@@ -32,6 +32,14 @@ enum class FaultKind {
     kPayloadCorruption, ///< a transmission arrives bit-flipped
     kNodeCrash,         ///< a node reboots, losing in-flight data
     kPoisonedUpdate,    ///< a stage's upload labels arrive scrambled
+    kTornWrite,         ///< a durable write persists only a prefix
+                        ///< (power loss mid-append)
+    kBitRot,            ///< a persisted buffer gains a flipped bit
+                        ///< (flash wear; caught by the record CRC)
+    kCrashMidCommit,    ///< death between staging a snapshot's tmp
+                        ///< file and the atomic rename
+    kStaleSnapshot,     ///< a snapshot replace is silently lost, so
+                        ///< recovery sees the previous version
 };
 
 /** Printable name of a fault kind. */
@@ -87,11 +95,31 @@ struct FaultPlan {
     /// labeling batch / adversarial drift), exercising the cloud's
     /// update-validation gate.
     std::vector<int> poisoned_stages;
+    /// Probability one durable append/stage persists only a prefix
+    /// (kTornWrite; the WAL's recovery scan truncates the tail).
+    double torn_write_prob = 0.0;
+    /// Probability one persisted buffer gains a flipped bit
+    /// (kBitRot; detected by the per-record CRC at read time).
+    double bit_rot_prob = 0.0;
+    /// Probability a snapshot commit dies between writing the tmp
+    /// file and the atomic rename (kCrashMidCommit; the previous
+    /// snapshot survives untouched).
+    double crash_mid_commit_prob = 0.0;
+    /// Probability a snapshot replace is silently dropped
+    /// (kStaleSnapshot; recovery sees the previous version).
+    double stale_snapshot_prob = 0.0;
     /// Seed of the injector's private random stream.
     uint64_t seed = 0xFA17ULL;
 
     /** True when the plan injects nothing at all. */
     bool empty() const;
+
+    /**
+     * True when any storage fault can fire. Storage draws come from
+     * the injector's *separate* storage stream, so enabling them
+     * never perturbs the payload loss/corruption replay sequence.
+     */
+    bool storage_faulty() const;
 
     /** Is the link inside an outage window at time @p t? */
     bool link_down(double t) const;

@@ -1,8 +1,11 @@
 #include "iot/fleet.h"
 
+#include <filesystem>
 #include <numeric>
 
 #include "nn/trainer.h"
+#include "storage/codec.h"
+#include "storage/file.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -41,6 +44,79 @@ FleetSim::FleetSim(FleetConfig config)
         for (size_t i = 0; i < n; ++i)
             uplinks_[i].set_breaker(&supervisor_->breaker(i));
     }
+    if (config_.durable_dir) {
+        const std::string& dir = *config_.durable_dir;
+        std::filesystem::create_directories(dir);
+        node_stores_.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            node_stores_.push_back(
+                std::make_unique<storage::SnapshotStore>(
+                    storage::open_storage_file(
+                        dir + "/node" + std::to_string(i) + ".ckpt",
+                        &injector_)));
+        registry_wal_ = std::make_unique<storage::Wal>(
+            storage::open_storage_file(dir + "/registry.wal",
+                                       &injector_));
+        // Trim any torn tail now and keep the committed records for
+        // an explicit recover_from_storage() call; appends from this
+        // fleet's commits continue the same log.
+        recovered_records_ = registry_wal_->recover().records;
+        cloud_.attach_wal(registry_wal_.get());
+        supervisor_store_ = std::make_unique<storage::SnapshotStore>(
+            storage::open_storage_file(dir + "/supervisor.state",
+                                       &injector_));
+        meta_store_ = std::make_unique<storage::SnapshotStore>(
+            storage::open_storage_file(dir + "/fleet.meta",
+                                       &injector_));
+    }
+}
+
+bool
+FleetSim::recover_from_storage()
+{
+    if (!durable()) return false;
+    bool any = false;
+    if (!recovered_records_.empty()) {
+        any = cloud_.recover(recovered_records_) > 0 || any;
+    }
+    if (supervisor_) {
+        if (const auto blob = supervisor_store_->read())
+            any = supervisor_->restore_state(*blob) || any;
+    }
+    // Serial on purpose: recovery happens once at boot, and keeping
+    // it ordered means its storage.* counters and any future spans
+    // stay replay-stable.
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (!nodes_[i].restore_from(*node_stores_[i])) continue;
+        checkpoints_[i] = nodes_[i].checkpoint();
+        any = true;
+    }
+    if (const auto blob = meta_store_->read()) {
+        storage::Reader r(*blob);
+        const int64_t stage = r.i64();
+        const double clock = r.f64();
+        if (r.ok && r.remaining() == 0 && stage >= 0) {
+            stage_index_ = static_cast<int>(stage);
+            clock_s_ = clock;
+            any = true;
+        }
+    }
+    static auto& recoveries = obs::MetricsRegistry::global().counter(
+        "iot.fleet.recoveries");
+    recoveries.add(1);
+    return any;
+}
+
+void
+FleetSim::persist_durable_state()
+{
+    if (!durable()) return;
+    if (supervisor_)
+        supervisor_store_->write(supervisor_->encode_state());
+    std::string meta;
+    storage::put_i64(meta, stage_index_);
+    storage::put_f64(meta, clock_s_);
+    meta_store_->write(meta);
 }
 
 InsituNode&
@@ -83,6 +159,12 @@ FleetSim::deploy_node(size_t i)
     // The checkpoint is the reboot target: a crash between
     // deployments loses in-flight data, never the deployed model.
     checkpoints_[i] = nodes_[i].checkpoint();
+    // Durable fleets also stage the checkpoint to flash (atomic
+    // replace; deployments happen on serial paths only, so the
+    // storage fault draws stay replay-ordered). The in-memory copy
+    // above stays the fallback — it models the previous firmware
+    // slot a bootloader keeps when the fresh write is damaged.
+    if (durable()) nodes_[i].save_checkpoint(*node_stores_[i]);
 }
 
 double
@@ -128,6 +210,7 @@ FleetSim::bootstrap(int64_t images_per_node, double base_severity)
     // last-good version to fall back to.
     cloud_.registry().commit(cloud_.inference(), "bootstrap", acc,
                              pooled.size());
+    persist_durable_state();
     return acc;
 }
 
@@ -183,11 +266,20 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
             nr.crashed = true;
             nr.lost_in_crash = uplinks_[i].clear();
             pending_uploads_[i] = Dataset{};
-            // restore() is all-or-nothing: a failed reboot leaves the
-            // node on its previous weights. The supervisor counts the
-            // event against the node's health.
-            if (!nodes_[i].restore(checkpoints_[i]))
-                restore_failed[i] = 1;
+            // Reboot from flash first (reads are draw-free, so this
+            // is safe inside the parallel region); a missing, torn,
+            // stale or bit-rotted checkpoint falls back to the
+            // in-memory copy — the previous-firmware-slot model — and
+            // counts as a restore failure against the node's health.
+            // restore()/restore_from() are all-or-nothing: a failed
+            // reboot leaves the node on its previous weights.
+            bool restored =
+                durable() && nodes_[i].restore_from(*node_stores_[i]);
+            if (!restored) {
+                if (durable()) restore_failed[i] = 1;
+                if (!nodes_[i].restore(checkpoints_[i]))
+                    restore_failed[i] = 1;
+            }
         } else {
             const Dataset& data = stage_data[i];
             const NodeStageReport node_report =
@@ -427,6 +519,7 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
 
     ++stage_index_;
     clock_s_ = window_to;
+    persist_durable_state();
     // Advance the telemetry clock before the stage span closes so its
     // end stamp is the window end, not the window start.
     obs::TelemetryClock::global().set_simulated_time_s(window_to);

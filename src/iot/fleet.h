@@ -30,13 +30,17 @@
  */
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <string>
 
 #include "cloud/update_service.h"
 #include "faults/fault_injector.h"
 #include "iot/node.h"
 #include "iot/supervisor.h"
 #include "iot/uplink.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
 
 namespace insitu {
 
@@ -76,6 +80,13 @@ struct FleetConfig {
     /// iot/supervisor.h). nullopt reproduces the unsupervised fleet
     /// exactly.
     std::optional<SupervisorConfig> supervisor;
+    /// Directory for durable state (created if missing). When set,
+    /// the fleet persists node checkpoints (SnapshotStore per node),
+    /// the cloud's registry history (a WAL), the supervisor state and
+    /// stage progress — and a freshly constructed FleetSim over the
+    /// same directory can resume via recover_from_storage(). nullopt
+    /// keeps everything in memory (the pre-durability behavior).
+    std::optional<std::string> durable_dir;
     uint64_t seed = 1;
 };
 
@@ -170,7 +181,24 @@ class FleetSim {
     /** Stages run so far (the stage index of the next run_stage). */
     int stage_index() const { return stage_index_; }
 
+    /** Is durable persistence active (config_.durable_dir set)? */
+    bool durable() const { return registry_wal_ != nullptr; }
+
+    /**
+     * Resume from the durable directory: replay the registry WAL into
+     * the cloud, restore the supervisor state, reboot every node from
+     * its on-disk checkpoint and resume the stage counter/clock. Call
+     * right after constructing a FleetSim over a directory a previous
+     * (possibly killed mid-run) fleet wrote. Every piece is
+     * all-or-nothing: a damaged file leaves that piece at its
+     * freshly-constructed state, never torn.
+     * @return true when any durable state was recovered.
+     */
+    bool recover_from_storage();
+
   private:
+    /** Persist supervisor state + stage progress (end of each stage). */
+    void persist_durable_state();
     /** Node-local condition for a stage. */
     Condition node_condition(size_t node,
                              double base_severity) const;
@@ -199,6 +227,18 @@ class FleetSim {
     /// Engaged iff config_.supervisor is set. Stable address: the
     /// uplinks hold pointers into its breakers.
     std::optional<FleetSupervisor> supervisor_;
+    /// Durable-state handles, engaged iff config_.durable_dir is set.
+    /// Writes happen only on serial paths (deployments, end-of-stage
+    /// persistence), so storage fault draws stay replay-ordered;
+    /// reads (crash reboots inside the node-parallel region) are
+    /// draw-free by FaultyFile's contract.
+    std::vector<std::unique_ptr<storage::SnapshotStore>> node_stores_;
+    std::unique_ptr<storage::Wal> registry_wal_;
+    std::unique_ptr<storage::SnapshotStore> supervisor_store_;
+    std::unique_ptr<storage::SnapshotStore> meta_store_;
+    /// Committed registry records found at construction, kept for
+    /// recover_from_storage().
+    std::vector<storage::WalRecord> recovered_records_;
     int stage_index_ = 0;
     double clock_s_ = 0;
     Rng rng_;

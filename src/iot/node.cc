@@ -3,11 +3,20 @@
 #include <sstream>
 
 #include "nn/serialize.h"
+#include "storage/codec.h"
+#include "storage/snapshot.h"
+#include "util/crc32.h"
 #include "util/logging.h"
 
 namespace insitu {
 
 namespace {
+
+// Checkpoint payload framing (inside the SnapshotStore frame, which
+// already authenticates the bytes; this header pins the *meaning* of
+// those bytes so a layout change can never be misread).
+constexpr uint32_t kCkptMagic = 0x1A51'70A4u;
+constexpr uint32_t kCkptVersion = 1u;
 
 /** Assemble the node's weight-shared task pair. */
 JigsawNetwork
@@ -21,6 +30,43 @@ make_shared_jigsaw(const TinyConfig& config, Network& inference,
 }
 
 } // namespace
+
+std::string
+encode_checkpoint(const NodeCheckpoint& ckpt)
+{
+    std::string body;
+    storage::put_bytes(body, ckpt.inference_blob);
+    storage::put_bytes(body, ckpt.trunk_blob);
+    storage::put_bytes(body, ckpt.head_blob);
+
+    std::string out;
+    storage::put_u32(out, kCkptMagic);
+    storage::put_u32(out, kCkptVersion);
+    storage::put_u32(out, crc32(body));
+    out += body;
+    return out;
+}
+
+bool
+decode_checkpoint(std::string_view payload, NodeCheckpoint& out)
+{
+    storage::Reader r(payload);
+    const uint32_t magic = r.u32();
+    const uint32_t version = r.u32();
+    const uint32_t crc = r.u32();
+    if (!r.ok || magic != kCkptMagic || version != kCkptVersion)
+        return false;
+    const std::string_view body = payload.substr(12);
+    if (crc32(body) != crc) return false;
+
+    NodeCheckpoint ckpt;
+    ckpt.inference_blob = r.bytes();
+    ckpt.trunk_blob = r.bytes();
+    ckpt.head_blob = r.bytes();
+    if (!r.ok || r.remaining() != 0) return false;
+    out = std::move(ckpt);
+    return true;
+}
 
 InsituNode::InsituNode(const TinyConfig& config,
                        const PermutationSet& perms, size_t shared_convs,
@@ -105,6 +151,22 @@ InsituNode::restore(const NodeCheckpoint& ckpt)
             "failed to undo a partial checkpoint restore");
     }
     return ok;
+}
+
+bool
+InsituNode::save_checkpoint(storage::SnapshotStore& store) const
+{
+    return store.write(encode_checkpoint(checkpoint()));
+}
+
+bool
+InsituNode::restore_from(storage::SnapshotStore& store)
+{
+    const auto payload = store.read();
+    if (!payload) return false;
+    NodeCheckpoint ckpt;
+    if (!decode_checkpoint(*payload, ckpt)) return false;
+    return restore(ckpt);
 }
 
 NodeStageReport

@@ -11,11 +11,16 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "iot/tasks.h"
 #include "models/tiny.h"
 
 namespace insitu {
+
+namespace storage {
+class SnapshotStore;
+}
 
 class ModelUpdateService;
 
@@ -32,6 +37,19 @@ struct NodeCheckpoint {
 
     bool empty() const { return inference_blob.empty(); }
 };
+
+/**
+ * Frame a checkpoint as one durable payload: magic, checkpoint format
+ * version, then the three blobs length-prefixed, with a CRC-32 over
+ * all of it. Suitable for SnapshotStore::write.
+ */
+std::string encode_checkpoint(const NodeCheckpoint& ckpt);
+
+/**
+ * Decode a payload written by encode_checkpoint. False (leaving
+ * @p out untouched) on bad magic/version/CRC or truncation.
+ */
+bool decode_checkpoint(std::string_view payload, NodeCheckpoint& out);
 
 /** What the node did with one stage of acquired data. */
 struct NodeStageReport {
@@ -77,6 +95,19 @@ class InsituNode {
      * @return false (leaving the node unchanged) on failure.
      */
     bool restore(const NodeCheckpoint& ckpt);
+
+    /**
+     * Durably persist the current deployment into @p store (atomic
+     * replace: the previous on-disk checkpoint survives any failure).
+     */
+    bool save_checkpoint(storage::SnapshotStore& store) const;
+
+    /**
+     * Reboot-from-disk path: read, decode and restore the checkpoint
+     * in @p store. All-or-nothing like restore(); a missing, torn,
+     * stale or bit-rotted file leaves the node bit-identical.
+     */
+    bool restore_from(storage::SnapshotStore& store);
 
     /** Conv layers shared between the two on-node networks. */
     size_t shared_convs() const { return shared_convs_; }

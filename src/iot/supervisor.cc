@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/codec.h"
 #include "util/logging.h"
 
 namespace insitu {
@@ -15,6 +16,11 @@ supervision_counter(const char* name)
 {
     return obs::MetricsRegistry::global().counter(name);
 }
+
+// Durable supervisor-state framing (payload of a SnapshotStore frame,
+// which already carries the CRC; this header pins the layout).
+constexpr uint32_t kSupMagic = 0x1A51'70A5u;
+constexpr uint32_t kSupVersion = 1u;
 
 } // namespace
 
@@ -98,6 +104,32 @@ CircuitBreaker::on_failure(double now_s)
     if (state_ == BreakerState::kClosed &&
         ++consecutive_failures_ >= config_.failure_threshold)
         open(now_s);
+}
+
+CircuitBreaker::Snapshot
+CircuitBreaker::snapshot() const
+{
+    Snapshot snap;
+    snap.state = state_;
+    snap.consecutive_failures = consecutive_failures_;
+    snap.half_open_successes = half_open_successes_;
+    snap.retry_at = retry_at_;
+    snap.opens = opens_;
+    snap.closes = closes_;
+    snap.probes = probes_;
+    return snap;
+}
+
+void
+CircuitBreaker::restore(const Snapshot& snap)
+{
+    state_ = snap.state;
+    consecutive_failures_ = snap.consecutive_failures;
+    half_open_successes_ = snap.half_open_successes;
+    retry_at_ = snap.retry_at;
+    opens_ = snap.opens;
+    closes_ = snap.closes;
+    probes_ = snap.probes;
 }
 
 const SupervisorConfig&
@@ -329,6 +361,104 @@ FleetSupervisor::pick_canaries() const
     healthy.resize(take);
     std::sort(healthy.begin(), healthy.end());
     return healthy;
+}
+
+std::string
+FleetSupervisor::encode_state() const
+{
+    std::string out;
+    storage::put_u32(out, kSupMagic);
+    storage::put_u32(out, kSupVersion);
+    storage::put_u64(out, health_.size());
+    for (size_t i = 0; i < health_.size(); ++i) {
+        const CircuitBreaker::Snapshot b = breakers_[i].snapshot();
+        storage::put_u32(out, static_cast<uint32_t>(b.state));
+        storage::put_i64(out, b.consecutive_failures);
+        storage::put_i64(out, b.half_open_successes);
+        storage::put_f64(out, b.retry_at);
+        storage::put_i64(out, b.opens);
+        storage::put_i64(out, b.closes);
+        storage::put_i64(out, b.probes);
+
+        const NodeHealth& h = health_[i];
+        storage::put_i64(out, h.stages_seen);
+        storage::put_i64(out, h.stages_completed);
+        storage::put_i64(out, h.crashes);
+        storage::put_i64(out, h.restore_failures);
+        storage::put_f64(out, h.last_flag_rate);
+        storage::put_f64(out, h.last_accuracy);
+        storage::put_u32(out, h.quarantined ? 1u : 0u);
+        storage::put_i64(out, h.healthy_streak);
+        storage::put_u64(out, h.recent_faults.size());
+        for (int s : h.recent_faults) storage::put_i64(out, s);
+    }
+    storage::put_u32(out, canary_.pending ? 1u : 0u);
+    storage::put_i64(out, canary_.started_stage);
+    storage::put_u64(out, canary_.nodes.size());
+    for (int n : canary_.nodes) storage::put_i64(out, n);
+    storage::put_i64(out, canary_.accepted_version);
+    storage::put_i64(out, canary_.baseline_version);
+    storage::put_f64(out, canary_.baseline_accuracy);
+    storage::put_f64(out, canary_.baseline_flag_rate);
+    return out;
+}
+
+bool
+FleetSupervisor::restore_state(std::string_view blob)
+{
+    storage::Reader r(blob);
+    if (r.u32() != kSupMagic || r.u32() != kSupVersion || !r.ok)
+        return false;
+    if (r.u64() != health_.size() || !r.ok) return false;
+
+    // Decode into temporaries so a torn payload changes nothing.
+    std::vector<CircuitBreaker::Snapshot> breakers(health_.size());
+    std::vector<NodeHealth> health(health_.size());
+    for (size_t i = 0; i < health.size(); ++i) {
+        CircuitBreaker::Snapshot& b = breakers[i];
+        const uint32_t state = r.u32();
+        if (state > 2) return false;
+        b.state = static_cast<BreakerState>(state);
+        b.consecutive_failures = static_cast<int>(r.i64());
+        b.half_open_successes = static_cast<int>(r.i64());
+        b.retry_at = r.f64();
+        b.opens = r.i64();
+        b.closes = r.i64();
+        b.probes = r.i64();
+
+        NodeHealth& h = health[i];
+        h.stages_seen = r.i64();
+        h.stages_completed = r.i64();
+        h.crashes = r.i64();
+        h.restore_failures = r.i64();
+        h.last_flag_rate = r.f64();
+        h.last_accuracy = r.f64();
+        h.quarantined = r.u32() != 0;
+        h.healthy_streak = static_cast<int>(r.i64());
+        const uint64_t faults = r.u64();
+        if (!r.ok || faults > blob.size()) return false;
+        for (uint64_t k = 0; k < faults; ++k)
+            h.recent_faults.push_back(static_cast<int>(r.i64()));
+    }
+    CanaryRollout canary;
+    canary.pending = r.u32() != 0;
+    canary.started_stage = static_cast<int>(r.i64());
+    const uint64_t canaries = r.u64();
+    if (!r.ok || canaries > blob.size()) return false;
+    for (uint64_t k = 0; k < canaries; ++k)
+        canary.nodes.push_back(static_cast<int>(r.i64()));
+    canary.accepted_version = r.i64();
+    canary.baseline_version = r.i64();
+    canary.baseline_accuracy = r.f64();
+    canary.baseline_flag_rate = r.f64();
+    if (!r.ok || r.remaining() != 0) return false;
+
+    for (size_t i = 0; i < health_.size(); ++i)
+        breakers_[i].restore(breakers[i]);
+    health_ = std::move(health);
+    canary_ = std::move(canary);
+    std::fill(observed_.begin(), observed_.end(), 0);
+    return true;
 }
 
 void

@@ -35,6 +35,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace insitu {
@@ -92,6 +94,23 @@ class CircuitBreaker {
     int64_t opens() const { return opens_; }   ///< ->open transitions
     int64_t closes() const { return closes_; } ///< ->closed transitions
     int64_t probes() const { return probes_; } ///< half-open attempts
+
+    /** Plain-data image of a breaker, for durable persistence. */
+    struct Snapshot {
+        BreakerState state = BreakerState::kClosed;
+        int consecutive_failures = 0;
+        int half_open_successes = 0;
+        double retry_at = 0;
+        int64_t opens = 0;
+        int64_t closes = 0;
+        int64_t probes = 0;
+    };
+
+    Snapshot snapshot() const;
+
+    /** Overwrite the mutable state from @p snap (config is not part
+     * of a snapshot — it comes from the rebuilt supervisor). */
+    void restore(const Snapshot& snap);
 
   private:
     void open(double now_s);
@@ -252,6 +271,22 @@ class FleetSupervisor {
                       int64_t baseline_version,
                       double baseline_accuracy,
                       double baseline_flag_rate);
+
+    /**
+     * Serialize every breaker, every node's health record and the
+     * pending canary rollout into one durable payload (suitable for
+     * a storage::SnapshotStore). The per-stage observation buffer is
+     * intentionally excluded: persistence happens between stages,
+     * when it is empty.
+     */
+    std::string encode_state() const;
+
+    /**
+     * All-or-nothing inverse of encode_state. False (leaving the
+     * supervisor unchanged) on bad magic/version, a node-count
+     * mismatch, or any truncation/corruption.
+     */
+    bool restore_state(std::string_view blob);
 
   private:
     SupervisorConfig config_;

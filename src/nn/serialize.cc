@@ -4,7 +4,9 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
+#include "util/crc32.h"
 #include "util/logging.h"
 
 namespace insitu {
@@ -12,6 +14,10 @@ namespace insitu {
 namespace {
 
 constexpr uint32_t kMagic = 0x1A51'70A1; // "insitu ai"
+// Format 1 was the unframed [magic][count][params] layout; format 2
+// adds [version][body_size][crc32(body)] after the magic so stale or
+// bit-rotted blobs are rejected before any parameter is touched.
+constexpr uint32_t kFormatVersion = 2;
 
 void
 write_u32(std::ostream& os, uint32_t v)
@@ -39,25 +45,43 @@ read_i64(std::istream& is, int64_t& v)
     return static_cast<bool>(is);
 }
 
+bool load_weights_body(Network& net, std::istream& is);
+
 } // namespace
+
+uint32_t
+weight_format_version()
+{
+    return kFormatVersion;
+}
 
 void
 save_weights(const Network& net, std::ostream& os)
 {
+    // Build the parameter section first so the header can carry its
+    // exact size and checksum.
+    std::ostringstream body_os;
     const auto params = net.params();
-    write_u32(os, kMagic);
-    write_u32(os, static_cast<uint32_t>(params.size()));
+    write_u32(body_os, static_cast<uint32_t>(params.size()));
     for (const auto& p : params) {
         const std::string& name = p->name();
-        write_u32(os, static_cast<uint32_t>(name.size()));
-        os.write(name.data(),
-                 static_cast<std::streamsize>(name.size()));
-        write_u32(os, static_cast<uint32_t>(p->value().rank()));
-        for (int64_t d : p->value().shape()) write_i64(os, d);
-        os.write(reinterpret_cast<const char*>(p->value().data()),
-                 static_cast<std::streamsize>(p->value().numel() *
-                                              sizeof(float)));
+        write_u32(body_os, static_cast<uint32_t>(name.size()));
+        body_os.write(name.data(),
+                      static_cast<std::streamsize>(name.size()));
+        write_u32(body_os, static_cast<uint32_t>(p->value().rank()));
+        for (int64_t d : p->value().shape()) write_i64(body_os, d);
+        body_os.write(
+            reinterpret_cast<const char*>(p->value().data()),
+            static_cast<std::streamsize>(p->value().numel() *
+                                         sizeof(float)));
     }
+    const std::string body = body_os.str();
+
+    write_u32(os, kMagic);
+    write_u32(os, kFormatVersion);
+    write_u32(os, static_cast<uint32_t>(body.size()));
+    write_u32(os, crc32(body));
+    os.write(body.data(), static_cast<std::streamsize>(body.size()));
 }
 
 bool
@@ -75,11 +99,42 @@ save_weights_file(const Network& net, const std::string& path)
 bool
 load_weights(Network& net, std::istream& is)
 {
-    uint32_t magic = 0, count = 0;
+    uint32_t magic = 0, version = 0, body_size = 0, crc = 0;
     if (!read_u32(is, magic) || magic != kMagic) {
         warn("weight stream has bad magic");
         return false;
     }
+    if (!read_u32(is, version) || version != kFormatVersion) {
+        warn("weight stream has format version " +
+             std::to_string(version) + ", expected " +
+             std::to_string(kFormatVersion));
+        return false;
+    }
+    if (!read_u32(is, body_size) || !read_u32(is, crc)) return false;
+    std::string body(body_size, '\0');
+    is.read(body.data(), body_size);
+    if (!is) {
+        warn("weight stream truncated");
+        return false;
+    }
+    if (crc32(body) != crc) {
+        warn("weight stream fails its checksum");
+        return false;
+    }
+
+    // The checksum vouches for the bytes; parsing below can still
+    // reject a blob from a *different* architecture (name/shape
+    // mismatch), which is a semantic error, not corruption.
+    std::istringstream body_is(body);
+    return load_weights_body(net, body_is);
+}
+
+namespace {
+
+bool
+load_weights_body(Network& net, std::istream& is)
+{
+    uint32_t count = 0;
     if (!read_u32(is, count)) return false;
     const auto params = net.params();
     if (count != params.size()) {
@@ -114,6 +169,8 @@ load_weights(Network& net, std::istream& is)
     }
     return true;
 }
+
+} // namespace
 
 bool
 load_weights_file(Network& net, const std::string& path)

@@ -15,6 +15,15 @@
 
 namespace insitu {
 
+/**
+ * Version of the weight-blob framing this build writes. Blobs carry
+ * `[magic][version][body_size][crc32(body)]` ahead of the parameter
+ * section; load_weights rejects any other version (including the
+ * unframed version-1 layout), so a stale flash partition can never be
+ * parsed as current weights.
+ */
+uint32_t weight_format_version();
+
 /** Serialize all distinct parameters of @p net to @p os. */
 void save_weights(const Network& net, std::ostream& os);
 

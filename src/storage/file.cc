@@ -1,0 +1,168 @@
+#include "storage/file.h"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "faults/fault_injector.h"
+
+namespace insitu::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string
+tmp_path(const std::string& path)
+{
+    return path + ".tmp";
+}
+
+bool
+write_whole(const std::string& path, std::string_view bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+} // namespace
+
+bool
+PosixFile::exists() const
+{
+    std::error_code ec;
+    return fs::exists(path_, ec);
+}
+
+uint64_t
+PosixFile::size() const
+{
+    std::error_code ec;
+    const auto n = fs::file_size(path_, ec);
+    return ec ? 0 : static_cast<uint64_t>(n);
+}
+
+bool
+PosixFile::read(std::string& out) const
+{
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) return false;
+    out.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+    return !in.bad();
+}
+
+bool
+PosixFile::append(std::string_view bytes)
+{
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    if (!out) return false;
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+bool
+PosixFile::write_tmp(std::string_view bytes)
+{
+    return write_whole(tmp_path(path_), bytes);
+}
+
+bool
+PosixFile::commit_tmp()
+{
+    std::error_code ec;
+    fs::rename(tmp_path(path_), path_, ec);
+    return !ec;
+}
+
+bool
+PosixFile::truncate(uint64_t size)
+{
+    std::error_code ec;
+    fs::resize_file(path_, size, ec);
+    return !ec;
+}
+
+bool
+PosixFile::remove()
+{
+    std::error_code ec;
+    fs::remove(tmp_path(path_), ec);
+    ec.clear();
+    fs::remove(path_, ec);
+    return true;
+}
+
+std::string
+FaultyFile::damaged(std::string_view bytes)
+{
+    std::string out(bytes);
+    if (out.empty()) return out;
+    // Order matters for replay: every write consults torn-write first,
+    // then bit-rot, so the draw sequence is a pure function of the
+    // write sequence.
+    if (injector_->torn_write()) {
+        out.resize(static_cast<size_t>(
+            injector_->storage_cut(out.size())));
+    }
+    if (!out.empty() && injector_->bit_rot()) {
+        const auto byte = static_cast<size_t>(
+            injector_->storage_cut(out.size()));
+        const auto bit = static_cast<unsigned>(
+            injector_->storage_cut(8));
+        out[byte] = static_cast<char>(
+            static_cast<unsigned char>(out[byte]) ^ (1u << bit));
+    }
+    return out;
+}
+
+bool
+FaultyFile::append(std::string_view bytes)
+{
+    return base_->append(damaged(bytes));
+}
+
+bool
+FaultyFile::write_tmp(std::string_view bytes)
+{
+    return base_->write_tmp(damaged(bytes));
+}
+
+bool
+FaultyFile::commit_tmp()
+{
+    if (injector_->crash_mid_commit()) {
+        // Death between stage and rename: the tmp file is left behind,
+        // the final path keeps its previous content. The writer never
+        // learns (it is "dead"), so report success.
+        return true;
+    }
+    if (injector_->stale_snapshot()) {
+        // The replace is silently lost altogether (e.g. a flash
+        // translation layer dropping the remap on power loss): the
+        // staged bytes vanish, unlike a mid-commit crash's leftover
+        // tmp file.
+        std::error_code ec;
+        fs::remove(tmp_path(base_->path()), ec);
+        return true;
+    }
+    return base_->commit_tmp();
+}
+
+std::unique_ptr<StorageFile>
+open_storage_file(std::string path, FaultInjector* injector)
+{
+    std::unique_ptr<StorageFile> file =
+        std::make_unique<PosixFile>(std::move(path));
+    if (injector != nullptr && injector->plan().storage_faulty())
+        file = std::make_unique<FaultyFile>(std::move(file), injector);
+    return file;
+}
+
+} // namespace insitu::storage

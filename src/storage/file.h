@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The file abstraction under the WAL and snapshot store.
+ *
+ * StorageFile is the narrow seam between the durable formats and the
+ * filesystem: append for logs, write_tmp + commit_tmp for the
+ * atomic-rename snapshot protocol, whole-file read for recovery.
+ * PosixFile implements it directly; FaultyFile wraps any StorageFile
+ * and injects the storage FaultKinds (torn writes, bit rot, crashes
+ * between stage and rename, lost replaces) from a FaultInjector's
+ * seeded storage stream, so chaos runs exercising flash failure modes
+ * replay bit-identically.
+ *
+ * FaultyFile injects on **writes only**. Reads pass through draw-free
+ * by design: crash-recovery reads happen inside the fleet's
+ * node-parallel region, and a read-side draw would make the storage
+ * stream's consumption order scheduling-dependent. Every read-side
+ * failure mode is therefore modeled as a corrupted *persisted* byte.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace insitu {
+class FaultInjector;
+}
+
+namespace insitu::storage {
+
+/** Minimal durable-file interface (see file commentary). */
+class StorageFile {
+  public:
+    virtual ~StorageFile() = default;
+
+    virtual const std::string& path() const = 0;
+    virtual bool exists() const = 0;
+    virtual uint64_t size() const = 0;
+
+    /** Read the whole file into @p out. False when absent/unreadable. */
+    virtual bool read(std::string& out) const = 0;
+
+    /** Append @p bytes at the end (creating the file if needed). */
+    virtual bool append(std::string_view bytes) = 0;
+
+    /** Stage @p bytes into the side file `path() + ".tmp"`. */
+    virtual bool write_tmp(std::string_view bytes) = 0;
+
+    /** Atomically rename the staged tmp file over the final path. */
+    virtual bool commit_tmp() = 0;
+
+    /** Truncate the file to @p size bytes (recovery trims torn tails). */
+    virtual bool truncate(uint64_t size) = 0;
+
+    /** Delete the file (and any staged tmp). Missing files are fine. */
+    virtual bool remove() = 0;
+
+    /** The two-step atomic replace: stage, then rename. */
+    bool
+    replace(std::string_view bytes)
+    {
+        return write_tmp(bytes) && commit_tmp();
+    }
+};
+
+/** StorageFile over the real filesystem (std::filesystem + fstream). */
+class PosixFile final : public StorageFile {
+  public:
+    explicit PosixFile(std::string path) : path_(std::move(path)) {}
+
+    const std::string& path() const override { return path_; }
+    bool exists() const override;
+    uint64_t size() const override;
+    bool read(std::string& out) const override;
+    bool append(std::string_view bytes) override;
+    bool write_tmp(std::string_view bytes) override;
+    bool commit_tmp() override;
+    bool truncate(uint64_t size) override;
+    bool remove() override;
+
+  private:
+    std::string path_;
+};
+
+/**
+ * Fault-injecting decorator. Each durable write consults the
+ * injector's storage stream:
+ *
+ * - append / write_tmp: a torn write persists only a seeded prefix;
+ *   bit rot flips one seeded bit of the persisted bytes.
+ * - commit_tmp: a mid-commit crash leaves the staged tmp behind and
+ *   skips the rename; a stale snapshot drops the tmp entirely. Both
+ *   report success — the "process" believes it committed, which is
+ *   exactly the lie recovery must survive.
+ */
+class FaultyFile final : public StorageFile {
+  public:
+    FaultyFile(std::unique_ptr<StorageFile> base,
+               FaultInjector* injector)
+        : base_(std::move(base)), injector_(injector)
+    {}
+
+    const std::string& path() const override { return base_->path(); }
+    bool exists() const override { return base_->exists(); }
+    uint64_t size() const override { return base_->size(); }
+    bool
+    read(std::string& out) const override
+    {
+        return base_->read(out);
+    }
+    bool append(std::string_view bytes) override;
+    bool write_tmp(std::string_view bytes) override;
+    bool commit_tmp() override;
+    bool
+    truncate(uint64_t size) override
+    {
+        return base_->truncate(size);
+    }
+    bool remove() override { return base_->remove(); }
+
+  private:
+    /** Apply torn-write / bit-rot draws to @p bytes; returns the bytes
+     * that actually reach the device. */
+    std::string damaged(std::string_view bytes);
+
+    std::unique_ptr<StorageFile> base_;
+    FaultInjector* injector_;
+};
+
+/**
+ * Open @p path as a PosixFile, wrapped in a FaultyFile when
+ * @p injector is non-null and its plan has any storage fault armed.
+ */
+std::unique_ptr<StorageFile>
+open_storage_file(std::string path, FaultInjector* injector = nullptr);
+
+} // namespace insitu::storage

@@ -1,0 +1,88 @@
+#include "storage/snapshot.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/codec.h"
+#include "util/crc32.h"
+
+namespace insitu::storage {
+
+namespace {
+
+obs::Counter&
+snap_counter(const char* name)
+{
+    return obs::MetricsRegistry::global().counter(
+        std::string("storage.snapshot.") + name);
+}
+
+} // namespace
+
+SnapshotStore::SnapshotStore(std::unique_ptr<StorageFile> file)
+    : file_(std::move(file))
+{}
+
+std::string
+SnapshotStore::encode_frame(std::string_view payload)
+{
+    std::string out;
+    put_u32(out, kSnapMagic);
+    put_u32(out, kSnapVersion);
+    put_u32(out, static_cast<uint32_t>(payload.size()));
+    put_u32(out, crc32(payload));
+    out.append(payload.data(), payload.size());
+    return out;
+}
+
+std::optional<std::string>
+SnapshotStore::decode_frame(std::string_view image)
+{
+    Reader r(image);
+    const uint32_t magic = r.u32();
+    const uint32_t version = r.u32();
+    const uint32_t size = r.u32();
+    const uint32_t crc = r.u32();
+    if (!r.ok || magic != kSnapMagic || version != kSnapVersion)
+        return std::nullopt;
+    if (size != r.remaining()) return std::nullopt;
+    const std::string_view payload = r.view(size);
+    if (!r.ok || crc32(payload) != crc) return std::nullopt;
+    return std::string(payload);
+}
+
+bool
+SnapshotStore::write(std::string_view payload)
+{
+    INSITU_SPAN("storage.snapshot.write");
+    const bool ok = file_->replace(encode_frame(payload));
+    if (ok) {
+        static auto& writes = snap_counter("writes");
+        writes.add(1);
+    } else {
+        static auto& failures = snap_counter("write_failures");
+        failures.add(1);
+    }
+    return ok;
+}
+
+std::optional<std::string>
+SnapshotStore::read()
+{
+    std::string image;
+    if (!file_->exists() || !file_->read(image)) {
+        static auto& failures = snap_counter("read_failures");
+        failures.add(1);
+        return std::nullopt;
+    }
+    auto payload = decode_frame(image);
+    if (payload) {
+        static auto& reads = snap_counter("reads");
+        reads.add(1);
+    } else {
+        static auto& failures = snap_counter("read_failures");
+        failures.add(1);
+    }
+    return payload;
+}
+
+} // namespace insitu::storage

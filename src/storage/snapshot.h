@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Atomic-rename snapshot store: one durable blob, replaced whole.
+ *
+ * On-disk frame (little-endian, see storage/codec.h):
+ *
+ *     [u32 kSnapMagic][u32 kSnapVersion][u32 payload_size][u32 crc][payload]
+ *
+ * `crc` is the CRC-32 of the payload. A write stages the full frame
+ * into `path + ".tmp"` and renames it over the final path, so the
+ * final path only ever holds a complete frame from *some* successful
+ * write — the old snapshot or the new one, never a mix. A crash
+ * between stage and rename leaves a stray tmp file that read()
+ * ignores and the next write overwrites.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "storage/file.h"
+
+namespace insitu::storage {
+
+/// First 4 bytes of every snapshot file (see kWalMagic for the code
+/// block these come from).
+constexpr uint32_t kSnapMagic = 0x1A51'70A3u;
+/// Bumped whenever the frame changes shape.
+constexpr uint32_t kSnapVersion = 1u;
+
+/** Single-blob durable store with all-or-nothing replace. */
+class SnapshotStore {
+  public:
+    explicit SnapshotStore(std::unique_ptr<StorageFile> file);
+
+    const std::string& path() const { return file_->path(); }
+
+    /** Is there any file to try reading? (It may still fail CRC.) */
+    bool exists() const { return file_->exists(); }
+
+    /**
+     * Frame @p payload and atomically replace the snapshot. False when
+     * the underlying write fails; the previous snapshot is untouched
+     * either way.
+     */
+    bool write(std::string_view payload);
+
+    /**
+     * Read and validate the current snapshot. nullopt when the file is
+     * absent, truncated, version-skewed or fails its CRC — callers
+     * treat all four identically (fall back, don't guess).
+     */
+    std::optional<std::string> read();
+
+    /** Delete the snapshot (and any stray tmp). */
+    void remove() { file_->remove(); }
+
+    /** Frame @p payload exactly as write() stages it. */
+    static std::string encode_frame(std::string_view payload);
+
+    /** Validate one in-memory frame image (the read() core; exposed
+     * for the kill-anywhere harness). */
+    static std::optional<std::string> decode_frame(
+        std::string_view image);
+
+  private:
+    std::unique_ptr<StorageFile> file_;
+};
+
+} // namespace insitu::storage

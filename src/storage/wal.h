@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Checksummed write-ahead log.
+ *
+ * On-disk layout (all integers little-endian, see storage/codec.h):
+ *
+ *     file   := [u32 kWalMagic][u32 kWalVersion] record*
+ *     record := [u32 size][u32 crc][u32 type][payload]
+ *
+ * `size` counts the type word plus the payload (so size >= 4) and
+ * `crc` is the CRC-32 of those same bytes. Appends are a single
+ * append(2)-style write of one fully framed record, so a torn append
+ * damages at most the final record. Recovery scans from the header,
+ * accepts records until the first short read or CRC mismatch, then
+ * truncates the file to the last valid byte — the classic
+ * prefix-consistency contract: after any crash the log replays to
+ * *exactly* the committed prefix, never a torn suffix.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/file.h"
+
+namespace insitu::storage {
+
+/// First 4 bytes of every log file (the weight-blob magic is
+/// 0x1A51'70A1; durable formats take the next codes up).
+constexpr uint32_t kWalMagic = 0x1A51'70A2u;
+/// Bumped whenever the record framing changes shape.
+constexpr uint32_t kWalVersion = 1u;
+
+/** One recovered (or to-be-appended) log record. */
+struct WalRecord {
+    uint32_t type = 0;
+    std::string payload;
+};
+
+/** Result of scanning a log file at open time. */
+struct WalRecovery {
+    std::vector<WalRecord> records; ///< the valid committed prefix
+    uint64_t valid_bytes = 0;       ///< file length of that prefix
+    bool header_ok = true;  ///< false: missing/foreign/truncated header
+    bool tail_truncated = false; ///< a torn/corrupt tail was dropped
+};
+
+/** Append-only log over one StorageFile. */
+class Wal {
+  public:
+    explicit Wal(std::unique_ptr<StorageFile> file);
+
+    const std::string& path() const { return file_->path(); }
+
+    /**
+     * Scan the file, truncate any torn tail, and return the committed
+     * records. An absent file recovers to zero records with header_ok
+     * true (a fresh log); a file whose header is damaged recovers to
+     * zero records with header_ok false (the caller decides whether
+     * that is fatal or a restart-from-scratch).
+     */
+    WalRecovery recover();
+
+    /**
+     * Append one record (writing the file header first when the file
+     * is new). Returns false when the underlying write fails — the
+     * caller's in-memory state is still the truth; only durability of
+     * this record is lost.
+     */
+    bool append(uint32_t type, std::string_view payload);
+
+    /** Frame one record exactly as append() writes it. */
+    static std::string encode_record(uint32_t type,
+                                     std::string_view payload);
+
+    /** The 8-byte file header. */
+    static std::string encode_header();
+
+    /**
+     * Pure scan of an in-memory image (the recovery core; recover()
+     * adds the truncation side effect). Exposed so the kill-anywhere
+     * harness can sweep truncation points without touching disk.
+     */
+    static WalRecovery scan(std::string_view image);
+
+  private:
+    std::unique_ptr<StorageFile> file_;
+    bool header_written_ = false;
+};
+
+} // namespace insitu::storage

@@ -49,8 +49,9 @@ Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> data)
     INSITU_CHECK(static_cast<int64_t>(data.size()) == numel_,
                  "data size ", data.size(), " != shape numel ", numel_);
     data_.resize(static_cast<size_t>(numel_)); // uninitialized
-    std::memcpy(data_.data(), data.data(),
-                static_cast<size_t>(numel_) * sizeof(float));
+    if (numel_ > 0)
+        std::memcpy(data_.data(), data.data(),
+                    static_cast<size_t>(numel_) * sizeof(float));
 }
 
 Tensor::Tensor(UninitTag, std::vector<int64_t> shape)
@@ -168,8 +169,9 @@ Tensor::reshape(std::vector<int64_t> new_shape) const
     }
     Tensor out(UninitTag{}, std::move(new_shape));
     INSITU_CHECK(out.numel() == numel_, "reshape changes element count");
-    std::memcpy(out.data(), data_.data(),
-                static_cast<size_t>(numel_) * sizeof(float));
+    if (numel_ > 0)
+        std::memcpy(out.data(), data_.data(),
+                    static_cast<size_t>(numel_) * sizeof(float));
     return out;
 }
 
@@ -183,10 +185,14 @@ Tensor::slice0(int64_t begin, int64_t end) const
     std::vector<int64_t> out_shape = shape_;
     out_shape[0] = end - begin;
     Tensor out(UninitTag{}, std::move(out_shape));
-    std::memcpy(out.data(),
-                data_.data() + static_cast<size_t>(begin * inner),
-                static_cast<size_t>((end - begin) * inner) *
-                    sizeof(float));
+    // memcpy's pointer arguments are declared nonnull; an empty
+    // tensor's (or empty slice's) data() may be null, which is UB
+    // even at size 0.
+    if (out.numel() > 0)
+        std::memcpy(out.data(),
+                    data_.data() + static_cast<size_t>(begin * inner),
+                    static_cast<size_t>((end - begin) * inner) *
+                        sizeof(float));
     return out;
 }
 

@@ -322,6 +322,105 @@ TEST(NodeCheckpoint, RestoreIsAllOrNothingPerBlob)
     EXPECT_TRUE(node.restore(good));
 }
 
+TEST(NodeCheckpoint, RejectsSwappedBlobsBitIdentically)
+{
+    TinyConfig tiny;
+    tiny.num_permutations = 8;
+    ModelUpdateService cloud(tiny, titan_x_spec(), 3);
+    InsituNode node(tiny, cloud.permutations(), 3, DiagnosisConfig{},
+                    17);
+    node.deploy_diagnosis(cloud.jigsaw());
+    node.deploy_inference(cloud.inference());
+    const NodeCheckpoint good = node.checkpoint();
+
+    auto snapshot = [&node] {
+        std::vector<std::vector<float>> all;
+        auto grab = [&all](const Network& net) {
+            for (const auto& p : net.params()) {
+                std::vector<float> v;
+                for (int64_t i = 0; i < p->numel(); ++i)
+                    v.push_back(p->value().at(i));
+                all.push_back(std::move(v));
+            }
+        };
+        grab(node.inference().network());
+        grab(node.diagnosis().network().trunk());
+        grab(node.diagnosis().network().head());
+        return all;
+    };
+    const auto before = snapshot();
+
+    // A checkpoint whose blobs were written to the wrong slots (the
+    // classic "restored the wrong partition" bug): every blob is
+    // individually valid, but none fits the network it lands on. The
+    // restore must fail and leave the node bit-identical.
+    NodeCheckpoint swapped = good;
+    std::swap(swapped.inference_blob, swapped.head_blob);
+    EXPECT_FALSE(node.restore(swapped));
+    // Diagnosis pair swapped among themselves too.
+    NodeCheckpoint diag_swapped = good;
+    std::swap(diag_swapped.trunk_blob, diag_swapped.head_blob);
+    EXPECT_FALSE(node.restore(diag_swapped));
+
+    const auto after = snapshot();
+    ASSERT_EQ(before.size(), after.size());
+    for (size_t p = 0; p < before.size(); ++p)
+        for (size_t i = 0; i < before[p].size(); ++i)
+            ASSERT_EQ(before[p][i], after[p][i]) << "param " << p;
+    EXPECT_TRUE(node.restore(good));
+}
+
+TEST(NodeCheckpoint, RejectsStaleWeightFormatBitIdentically)
+{
+    TinyConfig tiny;
+    tiny.num_permutations = 8;
+    ModelUpdateService cloud(tiny, titan_x_spec(), 3);
+    InsituNode node(tiny, cloud.permutations(), 3, DiagnosisConfig{},
+                    17);
+    node.deploy_diagnosis(cloud.jigsaw());
+    node.deploy_inference(cloud.inference());
+    const NodeCheckpoint good = node.checkpoint();
+
+    auto snapshot = [&node] {
+        std::vector<std::vector<float>> all;
+        auto grab = [&all](const Network& net) {
+            for (const auto& p : net.params()) {
+                std::vector<float> v;
+                for (int64_t i = 0; i < p->numel(); ++i)
+                    v.push_back(p->value().at(i));
+                all.push_back(std::move(v));
+            }
+        };
+        grab(node.inference().network());
+        grab(node.diagnosis().network().trunk());
+        grab(node.diagnosis().network().head());
+        return all;
+    };
+    const auto before = snapshot();
+
+    // A checkpoint written by an older firmware: the weight blob's
+    // format-version word (right after the magic) says 1. Layouts may
+    // have changed since, so the restore must refuse it wholesale.
+    for (int blob = 0; blob < 3; ++blob) {
+        NodeCheckpoint stale = good;
+        std::string& target =
+            blob == 0   ? stale.inference_blob
+            : blob == 1 ? stale.trunk_blob
+                        : stale.head_blob;
+        ASSERT_GE(target.size(), 8u);
+        target[4] = static_cast<char>(1);
+        target[5] = target[6] = target[7] = static_cast<char>(0);
+        EXPECT_FALSE(node.restore(stale)) << "blob " << blob;
+        const auto after = snapshot();
+        ASSERT_EQ(before.size(), after.size());
+        for (size_t p = 0; p < before.size(); ++p)
+            for (size_t i = 0; i < before[p].size(); ++i)
+                ASSERT_EQ(before[p][i], after[p][i])
+                    << "blob " << blob << " param " << p;
+    }
+    EXPECT_TRUE(node.restore(good));
+}
+
 TEST(ValidationGate, RollsBackRegressingUpdate)
 {
     TinyConfig tiny;
