@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Serving-latency study (docs/serving.md; refreshes Figs 11 and 15
+ * with *measured* curves from the simulated host).
+ *
+ * Part 1 — planner sweep: the three canonical traffic mixes, each
+ * served by every static batch size and by the online self-calibrating
+ * planner; p50/p99 latency and deadline-miss rate per policy. The
+ * tables behind results/serving_planner.md.
+ *
+ * Part 2 — measured vs modeled: per batch size, the analytical Eq 5
+ * latency, the host-measured mean, the calibrated prediction and its
+ * residual, next to the Eq 3 utilization the batch buys. This is the
+ * measured refresh of the Fig 11 latency curve and the Fig 15
+ * utilization curve — the analytical model gives the shape, the
+ * calibration pins the scale.
+ */
+#include <cstdio>
+
+#include "exp_common.h"
+#include "serving/calibrate.h"
+#include "serving/scenarios.h"
+
+using namespace insitu;
+using namespace insitu::bench;
+using namespace insitu::serving;
+
+namespace {
+
+/** Run one mix under one policy. */
+ServingReport
+run_policy(const std::string& mix, PlannerMode mode, int64_t static_b,
+           double duration_s, uint64_t seed)
+{
+    ServingConfig cfg = make_scenario(mix, duration_s, seed);
+    cfg.planner.mode = mode;
+    cfg.planner.static_batch = static_b;
+    ServingRuntime runtime(cfg);
+    return runtime.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("serving_latency",
+           "online batch planner vs static batching under bursty load",
+           "co-running incremental updates must not stall or degrade "
+           "the serving path (Sec. 6 'in-situ updating'); one batch "
+           "size cannot serve both bursts and deadlines");
+
+    const double duration_s = 30.0;
+    const uint64_t seed = 2018;
+    const std::vector<int64_t> statics = {1, 2, 4, 8, 16, 32};
+
+    // ---- part 1: the policy sweep over the canonical mixes --------
+    bool planner_wins_all = true;
+    for (const std::string& mix : scenario_names()) {
+        const ServingReport online = run_policy(
+            mix, PlannerMode::kOnline, 0, duration_s, seed);
+
+        std::printf("\nmix %s: %lld requests over %.0fs "
+                    "(planner: %lld batches, %lld drain, "
+                    "calib scale=%.3f)\n",
+                    mix.c_str(),
+                    static_cast<long long>(online.total.arrived),
+                    duration_s,
+                    static_cast<long long>(online.batches),
+                    static_cast<long long>(online.drain_batches),
+                    online.final_calibration.time_scale);
+        TablePrinter table({"policy", "miss %", "p50 (ms)", "p99 (ms)",
+                            "mean batch", "served", "lost"});
+        auto add_row = [&table](const std::string& policy,
+                                const ServingReport& r) {
+            table.add_row(
+                {policy, TablePrinter::num(100.0 * r.total.miss_rate, 2),
+                 TablePrinter::num(r.total.p50_latency_s * 1e3, 2),
+                 TablePrinter::num(r.total.p99_latency_s * 1e3, 2),
+                 TablePrinter::num(r.mean_batch_size, 2),
+                 std::to_string(r.total.served),
+                 std::to_string(r.total.dropped_capacity +
+                                r.total.shed_expired)});
+        };
+        add_row("planner", online);
+        for (int64_t b : statics) {
+            const ServingReport st = run_policy(
+                mix, PlannerMode::kStatic, b, duration_s, seed);
+            add_row("static-" + std::to_string(b), st);
+            if (online.total.miss_rate > st.total.miss_rate)
+                planner_wins_all = false;
+        }
+        std::printf("%s", table.to_string().c_str());
+        maybe_write_csv("serving_latency_" + mix, table);
+    }
+
+    // ---- part 2: measured vs modeled (Fig 11 / Fig 15 refresh) ----
+    std::printf("\nmeasured vs modeled (AlexNet on the TX1 host "
+                "profile, 32 samples per batch size):\n");
+    ServingConfig probe_cfg = make_scenario("bulk_heavy", 1.0, seed);
+    SimulatedHost host(probe_cfg.gpu, probe_cfg.host);
+    GpuModel gpu(probe_cfg.gpu);
+    const NetworkDesc net = probe_cfg.net;
+
+    obs::MetricsRegistry reg;
+    for (int64_t b : statics)
+        for (int i = 0; i < 32; ++i)
+            reg.histogram(exec_histogram_name(b))
+                .observe(host.run_batch(net, b, 1.0));
+    gpu.set_calibration(calibrate_from_registry(reg, gpu, net));
+    const auto points = observations_from_snapshot(reg.snapshot());
+
+    TablePrinter model({"batch", "Eq5 model (ms)", "measured (ms)",
+                        "calibrated (ms)", "residual %", "Eq3 util %"});
+    double max_abs_residual = 0.0;
+    double util_1 = 0.0, util_32 = 0.0;
+    for (const auto& o : points) {
+        const double analytical = gpu.network_latency(net, o.batch);
+        const double calibrated =
+            gpu.predicted_batch_latency(net, o.batch);
+        const double residual =
+            gpu.residual(net, o.batch, o.mean_seconds);
+        max_abs_residual =
+            std::max(max_abs_residual, std::abs(residual));
+        // Ops-weighted Eq 3 utilization across the network's layers.
+        double util = 0.0;
+        for (const auto& l : net.layers)
+            util += gpu.utilization(l, o.batch) * l.ops() /
+                    net.total_ops();
+        if (o.batch == 1) util_1 = util;
+        if (o.batch == 32) util_32 = util;
+        model.add_row({std::to_string(o.batch),
+                       TablePrinter::num(analytical * 1e3, 2),
+                       TablePrinter::num(o.mean_seconds * 1e3, 2),
+                       TablePrinter::num(calibrated * 1e3, 2),
+                       TablePrinter::num(100.0 * residual, 2),
+                       TablePrinter::num(100.0 * util, 1)});
+    }
+    std::printf("%s", model.to_string().c_str());
+    std::printf("fitted: scale=%.4f overhead=%.3fms (host truth: "
+                "%.4f / %.3fms)\n",
+                gpu.calibration().time_scale,
+                gpu.calibration().overhead_s * 1e3,
+                probe_cfg.host.time_scale,
+                probe_cfg.host.overhead_s * 1e3);
+    maybe_write_csv("serving_calibration", model);
+
+    const bool calibrated_close = max_abs_residual < 0.05;
+    const bool util_grows = util_32 > 1.2 * util_1 && util_32 > 0.9;
+    verdict(planner_wins_all && calibrated_close && util_grows,
+            "planner's miss rate <= every static batch on every mix; "
+            "calibrated predictions within 5% of measurement; Eq 3 "
+            "utilization grows with batch");
+    return planner_wins_all && calibrated_close ? 0 : 1;
+}

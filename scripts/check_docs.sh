@@ -81,9 +81,27 @@ else
     for needle in 'tensor.' 'nn.forward' 'nn.backward' 'iot.uplink' \
             'iot.fleet' 'iot.breaker' 'iot.supervisor' \
             'faults.injected' 'cloud.' 'parallel.' 'bench.' \
-            'storage.' 'INSITU_TELEMETRY_JSONL' 'wall_s'; do
+            'storage.' 'serving.' 'INSITU_TELEMETRY_JSONL' \
+            'wall_s'; do
         if ! grep -qF "$needle" "$obs"; then
             note "docs/observability.md does not mention $needle"
+            fail=1
+        fi
+    done
+fi
+
+# --- 4. the serving runtime's contract stays documented ------------
+srv="$root/docs/serving.md"
+if [ ! -f "$srv" ]; then
+    note "missing docs/serving.md"
+    fail=1
+else
+    # The load-bearing sections: the Eq 3-8 symbol mapping, the swap
+    # protocol, the calibration data path and the determinism gate.
+    for needle in 'Eq' 'double buffer' 'serving.exec.time_s' \
+            'check_serving' 'fit_calibration' 'EDF'; do
+        if ! grep -qF "$needle" "$srv"; then
+            note "docs/serving.md does not mention $needle"
             fail=1
         fi
     done

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Serving-runtime gate, run as a ctest (`check_serving`). Two checks
+# on the serving_demo example:
+#
+# 1. Determinism: the full co-running demo (bursty arrivals, EDF
+#    batching, weight swaps, calibration fits) must print
+#    byte-identical output at INSITU_THREADS=1 and 4 — the serving
+#    transcript is a pure function of the scenario seed.
+# 2. Acceptance (smoke): `--acceptance` sweeps the three canonical
+#    traffic mixes and exits non-zero unless the online planner's
+#    deadline-miss rate is <= every static batch size on every mix.
+#
+# Usage: check_serving.sh <path-to-serving_demo-binary>
+set -u
+
+if [ $# -ne 1 ] || [ ! -x "$1" ]; then
+    printf 'usage: %s <serving_demo binary>\n' "$0" >&2
+    exit 2
+fi
+binary="$1"
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+# -- 1. byte-identical transcript across thread counts ---------------
+for threads in 1 4; do
+    if ! INSITU_THREADS=$threads "$binary" \
+            > "$tmpdir/threads$threads.out" 2>&1; then
+        printf 'check_serving: FAILED (exit code at threads=%s)\n' \
+            "$threads" >&2
+        cat "$tmpdir/threads$threads.out" >&2
+        exit 1
+    fi
+done
+
+if ! diff -u "$tmpdir/threads1.out" "$tmpdir/threads4.out" >&2; then
+    printf 'check_serving: FAILED (transcript differs across thread counts)\n' >&2
+    exit 1
+fi
+
+# -- 2. planner-beats-static acceptance sweep ------------------------
+if ! "$binary" --acceptance > "$tmpdir/acceptance.out" 2>&1; then
+    printf 'check_serving: FAILED (acceptance sweep)\n' >&2
+    cat "$tmpdir/acceptance.out" >&2
+    exit 1
+fi
+
+if ! grep -q 'overall acceptance: PASS' "$tmpdir/acceptance.out"; then
+    printf 'check_serving: FAILED (no PASS verdict in acceptance output)\n' >&2
+    cat "$tmpdir/acceptance.out" >&2
+    exit 1
+fi
+
+printf 'check_serving: OK (%s transcript lines bit-identical, planner beats every static batch)\n' \
+    "$(wc -l < "$tmpdir/threads1.out")"

@@ -155,6 +155,80 @@ GpuModel::max_batch_for_memory(const NetworkDesc& net,
     return best;
 }
 
+void
+GpuModel::set_calibration(const GpuCalibration& calib)
+{
+    INSITU_CHECK(calib.time_scale > 0, "time_scale must be positive");
+    INSITU_CHECK(calib.overhead_s >= 0, "negative overhead");
+    calib_ = calib;
+}
+
+double
+GpuModel::predicted_batch_latency(const NetworkDesc& net,
+                                  int64_t batch) const
+{
+    return calib_.time_scale * network_latency(net, batch) +
+           calib_.overhead_s;
+}
+
+double
+GpuModel::residual(const NetworkDesc& net, int64_t batch,
+                   double measured_s) const
+{
+    const double predicted = predicted_batch_latency(net, batch);
+    return (measured_s - predicted) / predicted;
+}
+
+GpuCalibration
+fit_calibration(const GpuModel& model, const NetworkDesc& net,
+                const std::vector<BatchObservation>& obs)
+{
+    GpuCalibration fit;
+    if (obs.empty()) return fit;
+
+    // Weighted moments of (x = uncalibrated modeled time,
+    // y = measured mean time).
+    GpuModel analytical(model.spec()); // identity calibration
+    double sw = 0, swx = 0, swy = 0, swxx = 0, swxy = 0;
+    int64_t samples = 0;
+    for (const auto& o : obs) {
+        INSITU_CHECK(o.batch > 0, "observation batch must be positive");
+        if (o.count <= 0) continue;
+        const double w = static_cast<double>(o.count);
+        const double x = analytical.network_latency(net, o.batch);
+        const double y = o.mean_seconds;
+        sw += w;
+        swx += w * x;
+        swy += w * y;
+        swxx += w * x * x;
+        swxy += w * x * y;
+        samples += o.count;
+    }
+    if (samples == 0) return fit;
+    fit.samples = samples;
+
+    const auto scale_only = [&] {
+        // overhead pinned to 0: time_scale = argmin sum w (y - s x)^2.
+        fit.overhead_s = 0.0;
+        fit.time_scale = swxx > 0 ? swxy / swxx : 1.0;
+        if (!(fit.time_scale > 0)) fit.time_scale = 1.0;
+    };
+
+    const double denom = sw * swxx - swx * swx;
+    // Rank-deficient when every observation sits at one modeled time
+    // (single distinct batch size): the intercept is unidentifiable.
+    if (denom <= 1e-12 * sw * swxx) {
+        scale_only();
+        return fit;
+    }
+    fit.time_scale = (sw * swxy - swx * swy) / denom;
+    fit.overhead_s = (swy - fit.time_scale * swx) / sw;
+    // Clamp to the physically meaningful quadrant; re-solve the
+    // remaining constant so the result is still a least-squares fit.
+    if (!(fit.time_scale > 0) || fit.overhead_s < 0) scale_only();
+    return fit;
+}
+
 double
 GpuModel::corun_slowdown(double inference_ops,
                          double diagnosis_ops) const

@@ -94,6 +94,7 @@ void
 InsituNode::deploy_inference(const Network& cloud_inference)
 {
     copy_parameters(inference_.network(), cloud_inference);
+    model_version_ = ++deploy_seq_;
 }
 
 void
@@ -167,6 +168,34 @@ InsituNode::restore_from(storage::SnapshotStore& store)
     NodeCheckpoint ckpt;
     if (!decode_checkpoint(*payload, ckpt)) return false;
     return restore(ckpt);
+}
+
+uint64_t
+InsituNode::stage_deployment(NodeCheckpoint ckpt)
+{
+    staged_ = std::move(ckpt);
+    staged_version_ = ++deploy_seq_;
+    return staged_version_;
+}
+
+uint64_t
+InsituNode::staged_version() const
+{
+    return staged_ ? staged_version_ : 0;
+}
+
+bool
+InsituNode::commit_staged_deployment()
+{
+    if (!staged_) return false;
+    // Clear the stage before applying: a corrupt update must not be
+    // retried forever, and restore() already guarantees the live
+    // weights survive a bad blob untouched.
+    const NodeCheckpoint ckpt = std::move(*staged_);
+    staged_.reset();
+    if (!restore(ckpt)) return false;
+    model_version_ = staged_version_;
+    return true;
 }
 
 NodeStageReport

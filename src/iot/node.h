@@ -109,6 +109,49 @@ class InsituNode {
      */
     bool restore_from(storage::SnapshotStore& store);
 
+    // ---- Co-running deployment: double-buffered weights ----------
+    //
+    // The serving runtime (src/serving) streams inference batches
+    // continuously, so a cloud update can arrive while a batch is in
+    // flight. Applying it immediately would tear the batch (some
+    // images scored by the old weights, some by the new). Instead the
+    // update is *staged* into a back buffer — a pure data copy that
+    // never touches the live networks — and *committed* by the
+    // runtime at the next batch boundary. A batch therefore always
+    // runs start-to-finish on one model version, and a swap costs the
+    // stream zero stall time (docs/serving.md, "The swap protocol").
+
+    /**
+     * Park @p ckpt in the back buffer without touching the live
+     * weights. A later stage overwrites an uncommitted one (last
+     * update wins). @return the version number the checkpoint will
+     * carry once committed.
+     */
+    uint64_t stage_deployment(NodeCheckpoint ckpt);
+
+    /** Is an update parked and waiting for a batch boundary? */
+    bool has_staged_deployment() const { return staged_.has_value(); }
+
+    /** Version a commit_staged_deployment() would publish (0 when
+     * nothing is staged). */
+    uint64_t staged_version() const;
+
+    /**
+     * Apply the staged checkpoint (all-or-nothing, like restore()).
+     * Call only between batches. @return false — clearing the stage
+     * and leaving the live weights and version untouched — on a
+     * malformed or incompatible checkpoint.
+     */
+    bool commit_staged_deployment();
+
+    /**
+     * Version of the live weights: bumped by deploy_inference() and
+     * every successful commit_staged_deployment(); 0 until the first
+     * deployment. Lets the serving runtime prove no batch spans a
+     * swap.
+     */
+    uint64_t model_version() const { return model_version_; }
+
     /** Conv layers shared between the two on-node networks. */
     size_t shared_convs() const { return shared_convs_; }
 
@@ -119,6 +162,12 @@ class InsituNode {
     size_t shared_convs_;
     InferenceTask inference_;
     DiagnosisTask diagnosis_;
+    /// Double-buffer back buffer: the staged-but-uncommitted update
+    /// and the version it will publish.
+    std::optional<NodeCheckpoint> staged_;
+    uint64_t staged_version_ = 0;
+    uint64_t model_version_ = 0;
+    uint64_t deploy_seq_ = 0; ///< monotonic version allocator
 };
 
 } // namespace insitu

@@ -1,0 +1,25 @@
+#include "serving/host.h"
+
+#include "util/logging.h"
+
+namespace insitu::serving {
+
+double
+SimulatedHost::mean_batch_seconds(const NetworkDesc& net,
+                                  int64_t batch) const
+{
+    return profile_.time_scale * model_.network_latency(net, batch) +
+           profile_.overhead_s;
+}
+
+double
+SimulatedHost::run_batch(const NetworkDesc& net, int64_t batch,
+                         double corun_factor)
+{
+    INSITU_CHECK(corun_factor >= 1.0, "corun factor below 1");
+    const double jitter =
+        1.0 + profile_.jitter_frac * (2.0 * rng_.uniform() - 1.0);
+    return mean_batch_seconds(net, batch) * jitter * corun_factor;
+}
+
+} // namespace insitu::serving

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The ground-truth device the serving runtime executes batches on.
+ *
+ * The planner only ever sees the analytical Eq 3-8 model (plus
+ * whatever calibration it has fitted so far); the *host* is the
+ * hardware being modeled. SimulatedHost plays that role
+ * deterministically: its batch time is the analytical latency warped
+ * by a host-specific scale and fixed per-batch overhead — the two
+ * constants the calibration loop has to recover — plus bounded
+ * multiplicative jitter from a seeded stream. The planner's model
+ * starts wrong on purpose; closing the measured-vs-modeled gap is the
+ * calibration loop's job (docs/serving.md, "The calibration loop").
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "hw/gpu_model.h"
+#include "util/rng.h"
+
+namespace insitu::serving {
+
+/** The true (hidden-from-the-planner) host characteristics. */
+struct HostProfile {
+    double time_scale = 1.6;  ///< true scale vs the analytical model
+    double overhead_s = 4e-3; ///< true per-batch dispatch cost
+    double jitter_frac = 0.05;///< +-5% uniform multiplicative jitter
+    uint64_t seed = 0x5E41;   ///< jitter stream seed
+};
+
+/** Deterministic stand-in for the physical accelerator. */
+class SimulatedHost {
+  public:
+    SimulatedHost(GpuSpec spec, HostProfile profile)
+        : model_(std::move(spec)), profile_(profile),
+          rng_(profile.seed)
+    {}
+
+    /**
+     * Execute one inference batch: seconds consumed on the device,
+     * jitter included, inflated by @p corun_factor (the Fig. 16
+     * interference slowdown when a diagnosis kernel co-runs).
+     * Each call advances the jitter stream — call order defines the
+     * timeline, and the timeline is serial, so runs replay exactly.
+     */
+    double run_batch(const NetworkDesc& net, int64_t batch,
+                     double corun_factor = 1.0);
+
+    /** Jitter-free mean batch time (for scenario design and the
+     * measured-curve refresh of Fig 11/15). */
+    double mean_batch_seconds(const NetworkDesc& net,
+                              int64_t batch) const;
+
+    const HostProfile& profile() const { return profile_; }
+    const GpuModel& analytical() const { return model_; }
+
+  private:
+    GpuModel model_; ///< stays uncalibrated: the host IS the truth
+    HostProfile profile_;
+    Rng rng_;
+};
+
+} // namespace insitu::serving

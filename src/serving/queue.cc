@@ -1,0 +1,56 @@
+#include "serving/queue.h"
+
+namespace insitu::serving {
+
+bool
+AdmissionQueue::admit(const Request& r)
+{
+    ++stats_.arrived;
+    if (pending_.size() >= capacity_) {
+        ++stats_.dropped_capacity;
+        return false;
+    }
+    pending_.insert(r);
+    ++stats_.admitted;
+    return true;
+}
+
+std::vector<double>
+AdmissionQueue::edf_deadlines(size_t max_n) const
+{
+    std::vector<double> out;
+    out.reserve(max_n < pending_.size() ? max_n : pending_.size());
+    for (const auto& r : pending_) {
+        if (out.size() >= max_n) break;
+        out.push_back(r.deadline_s);
+    }
+    return out;
+}
+
+std::vector<Request>
+AdmissionQueue::pop_edf(size_t n)
+{
+    std::vector<Request> out;
+    out.reserve(n);
+    while (out.size() < n && !pending_.empty()) {
+        auto it = pending_.begin();
+        out.push_back(*it);
+        pending_.erase(it);
+    }
+    return out;
+}
+
+std::vector<Request>
+AdmissionQueue::shed_expired(double now)
+{
+    std::vector<Request> out;
+    while (!pending_.empty() &&
+           pending_.begin()->deadline_s < now) {
+        out.push_back(*pending_.begin());
+        pending_.erase(pending_.begin());
+        ++stats_.shed_expired;
+    }
+    return out;
+}
+
+} // namespace insitu::serving

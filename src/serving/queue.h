@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bounded admission queue with earliest-deadline-first ordering.
+ *
+ * Requests are admitted at arrival (dropped when the queue is at
+ * capacity — open-loop load sheds at the edge, it never blocks the
+ * generator) and extracted in EDF order for batch formation: a batch
+ * is always an EDF prefix, so its binding deadline is the front
+ * request's. Expired requests can be shed at formation time instead
+ * of wasting a batch slot on a guaranteed miss.
+ *
+ * Everything here is serial and ordered by (deadline, id), so the
+ * queue's behavior is a pure function of the arrival list.
+ */
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "serving/request.h"
+
+namespace insitu::serving {
+
+/** Admission-side tallies (drops count as deadline misses). */
+struct AdmissionStats {
+    int64_t arrived = 0;
+    int64_t admitted = 0;
+    int64_t dropped_capacity = 0; ///< rejected at a full queue
+    int64_t shed_expired = 0;     ///< dropped already-expired at formation
+};
+
+/** Deterministic EDF priority queue over pending requests. */
+class AdmissionQueue {
+  public:
+    explicit AdmissionQueue(size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * Admit @p r, or drop it when the queue is full.
+     * @return true if admitted.
+     */
+    bool admit(const Request& r);
+
+    size_t depth() const { return pending_.size(); }
+    bool empty() const { return pending_.empty(); }
+    size_t capacity() const { return capacity_; }
+
+    /** Absolute deadlines of the first @p max_n requests in EDF
+     * order (for the planner's feasibility check). */
+    std::vector<double> edf_deadlines(size_t max_n) const;
+
+    /** Remove and return the EDF-first @p n requests. */
+    std::vector<Request> pop_edf(size_t n);
+
+    /**
+     * Drop every queued request whose deadline is already in the
+     * past at time @p now; returns the shed requests (the runtime
+     * records them as deadline misses).
+     */
+    std::vector<Request> shed_expired(double now);
+
+    const AdmissionStats& stats() const { return stats_; }
+
+  private:
+    struct EdfOrder {
+        bool
+        operator()(const Request& a, const Request& b) const
+        {
+            if (a.deadline_s != b.deadline_s)
+                return a.deadline_s < b.deadline_s;
+            return a.id < b.id;
+        }
+    };
+
+    size_t capacity_;
+    std::set<Request, EdfOrder> pending_;
+    AdmissionStats stats_;
+};
+
+} // namespace insitu::serving

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Request model of the async serving runtime (docs/serving.md).
+ *
+ * The open-loop load generator emits Requests tagged with a
+ * latency/deadline class; the admission queue orders them by absolute
+ * deadline (EDF) and the planner forms batches from the EDF prefix.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace insitu::serving {
+
+/**
+ * One latency class of the traffic mix: every request of the class
+ * carries the class's relative deadline from its arrival instant.
+ */
+struct RequestClass {
+    std::string name;
+    double deadline_s = 0.5; ///< relative deadline at arrival
+    double weight = 1.0;     ///< share of arrivals (normalized)
+};
+
+/** One inference request of the open-loop stream. */
+struct Request {
+    int64_t id = 0;       ///< arrival order, unique per run
+    int cls = 0;          ///< index into the mix's class list
+    double arrival_s = 0; ///< simulated arrival time
+    double deadline_s = 0;///< absolute: arrival + class deadline
+};
+
+} // namespace insitu::serving

@@ -1,0 +1,630 @@
+#include "serving/runtime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+#include <optional>
+
+#include "iot/node.h"
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "serving/calibrate.h"
+#include "util/logging.h"
+
+namespace insitu::serving {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Epsilon for "completed after its deadline": host arithmetic is
+/// exact doubles, this only guards against representation noise.
+constexpr double kDeadlineEps = 1e-12;
+
+/** Nearest-rank quantile of an ascending-sorted vector. */
+double
+quantile(const std::vector<double>& sorted, double q)
+{
+    if (sorted.empty()) return 0.0;
+    const double n = static_cast<double>(sorted.size());
+    size_t idx = static_cast<size_t>(std::ceil(q * n));
+    if (idx > 0) --idx;
+    if (idx >= sorted.size()) idx = sorted.size() - 1;
+    return sorted[idx];
+}
+
+/** Histogram options for batch sizes (integer values, exact sums). */
+obs::HistogramOptions
+batch_size_options()
+{
+    return {{1, 2, 4, 8, 16, 32, 64, 128}, 1.0};
+}
+
+/** Histogram options for relative residuals. */
+obs::HistogramOptions
+residual_options()
+{
+    return {{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0}, 1e-9};
+}
+
+} // namespace
+
+struct ServingRuntime::Impl {
+    ServingConfig cfg;
+    InsituNode* node;
+
+    obs::MetricsRegistry local; ///< per-run calibration histograms
+
+    std::vector<Request> arrivals;
+    AdmissionQueue queue;
+    SimulatedHost host;
+    GpuModel planner_gpu; ///< the planner's (self-calibrating) model
+    BatchPlanner planner;
+    NetworkDesc diag_net;
+    double diag_batch_ops = 0;
+
+    // ---- event timeline state ----
+    size_t next_arrival = 0;
+    double next_update_s = kInf;
+    double next_diag_s = kInf;
+    double next_calib_s = kInf;
+    double diag_until_s = -kInf;
+    double diag_duration_s = 0;
+
+    struct InFlight {
+        std::vector<Request> reqs;
+        double start_s = 0;
+        double completion_s = 0;
+        uint64_t version = 0; ///< live model version at dispatch
+        int64_t seq = 0;
+        int64_t span_id = -1;
+    };
+    std::optional<InFlight> flight;
+
+    // ---- model-version double-buffer (mirrors the node if present,
+    // self-tracked otherwise) ----
+    uint64_t live_version = 1;
+    uint64_t next_version = 1;
+    uint64_t staged_version = 0; ///< 0 = nothing staged
+
+    // ---- tallies ----
+    struct ClassTally {
+        int64_t arrived = 0;
+        int64_t served = 0;
+        int64_t late = 0;
+        int64_t dropped = 0;
+        int64_t shed = 0;
+        std::vector<double> latencies;
+    };
+    std::vector<ClassTally> tally;
+    int64_t batch_seq = 0;
+    int64_t batch_images = 0;
+    ServingReport rep;
+    bool ran = false;
+
+    // Synthetic payload pool for real inference on the node.
+    Dataset pool;
+
+    // ---- global metric handles (looked up once) ----
+    obs::Counter& m_arrived;
+    obs::Counter& m_admitted;
+    obs::Counter& m_dropped;
+    obs::Counter& m_shed;
+    obs::Counter& m_served;
+    obs::Counter& m_missed;
+    obs::Counter& m_batches;
+    obs::Counter& m_staged;
+    obs::Counter& m_swapped;
+    obs::Counter& m_fits;
+    obs::Counter& m_real_preds;
+    obs::Histogram& m_batch_size;
+    obs::Histogram& m_latency;
+    obs::Histogram& m_exec;
+    obs::Histogram& m_residual;
+    obs::Gauge& m_time_scale;
+    obs::Gauge& m_overhead;
+
+    Impl(ServingConfig config, InsituNode* n)
+        : cfg(std::move(config)), node(n),
+          queue(cfg.queue_capacity), host(cfg.gpu, cfg.host),
+          planner_gpu(cfg.gpu), planner(cfg.planner),
+          m_arrived(obs::MetricsRegistry::global().counter(
+              "serving.requests.arrived")),
+          m_admitted(obs::MetricsRegistry::global().counter(
+              "serving.requests.admitted")),
+          m_dropped(obs::MetricsRegistry::global().counter(
+              "serving.requests.dropped")),
+          m_shed(obs::MetricsRegistry::global().counter(
+              "serving.requests.shed")),
+          m_served(obs::MetricsRegistry::global().counter(
+              "serving.requests.served")),
+          m_missed(obs::MetricsRegistry::global().counter(
+              "serving.requests.missed_deadline")),
+          m_batches(obs::MetricsRegistry::global().counter(
+              "serving.batches")),
+          m_staged(obs::MetricsRegistry::global().counter(
+              "serving.weights.staged")),
+          m_swapped(obs::MetricsRegistry::global().counter(
+              "serving.weights.swapped")),
+          m_fits(obs::MetricsRegistry::global().counter(
+              "serving.calib.fits")),
+          m_real_preds(obs::MetricsRegistry::global().counter(
+              "serving.real.predictions")),
+          m_batch_size(obs::MetricsRegistry::global().histogram(
+              "serving.batch.size", batch_size_options())),
+          m_latency(obs::MetricsRegistry::global().histogram(
+              "serving.request.latency_s")),
+          m_exec(obs::MetricsRegistry::global().histogram(
+              "serving.exec.time_s")),
+          m_residual(obs::MetricsRegistry::global().histogram(
+              "serving.calib.residual_abs", residual_options())),
+          m_time_scale(obs::MetricsRegistry::global().gauge(
+              "serving.calib.time_scale")),
+          m_overhead(obs::MetricsRegistry::global().gauge(
+              "serving.calib.overhead_s"))
+    {
+        if (cfg.diagnosis_net.layers.empty())
+            diag_net = diagnosis_desc(cfg.net);
+        else
+            diag_net = cfg.diagnosis_net;
+        diag_batch_ops =
+            diag_net.total_ops() *
+            static_cast<double>(cfg.corun.diagnosis_batch);
+        tally.resize(cfg.mix.classes.size());
+        if (node != nullptr && cfg.real_inference_every > 0) {
+            Rng pool_rng(cfg.mix.seed ^ 0x5EBF00D);
+            pool = make_dataset(cfg.synth,
+                                std::max<int64_t>(
+                                    cfg.planner.max_batch, 9),
+                                Condition{}, pool_rng);
+        }
+        if (node != nullptr) live_version = node->model_version();
+    }
+
+    // ---- transcript -------------------------------------------------
+    void
+    line(TranscriptLevel min_level, const char* fmt, ...)
+    {
+        if (cfg.transcript < min_level) return;
+        char buf[256];
+        va_list ap;
+        va_start(ap, fmt);
+        std::vsnprintf(buf, sizeof buf, fmt, ap);
+        va_end(ap);
+        rep.transcript += buf;
+        rep.transcript += '\n';
+    }
+
+    /** Publish @p t to the telemetry clock (no-op in wall mode) so
+     * spans and instants carry simulation timestamps. */
+    void
+    publish(double t)
+    {
+        obs::TelemetryClock::global().set_simulated_time_s(t);
+    }
+
+    double
+    current_diag_ops(double t) const
+    {
+        return t < diag_until_s ? diag_batch_ops : 0.0;
+    }
+
+    // ---- double-buffer protocol ------------------------------------
+    void
+    stage_update(double t)
+    {
+        if (node != nullptr) {
+            staged_version = node->stage_deployment(node->checkpoint());
+        } else {
+            staged_version = ++next_version;
+        }
+        ++rep.updates_staged;
+        if (flight) ++rep.mid_batch_stages;
+        m_staged.add();
+        publish(t);
+        obs::TraceRecorder::global().instant(
+            "serving.swap.staged",
+            {{"version", std::to_string(staged_version)}});
+        line(TranscriptLevel::kSummary,
+             "[t=%.6f] update v%llu staged%s", t,
+             static_cast<unsigned long long>(staged_version),
+             flight ? " (mid-batch)" : "");
+    }
+
+    /** Batch-boundary commit: the only place the live weights move. */
+    void
+    commit_staged(double t)
+    {
+        if (staged_version == 0) return;
+        const uint64_t v = staged_version;
+        staged_version = 0;
+        if (node != nullptr) {
+            INSITU_CHECK(node->commit_staged_deployment(),
+                         "staged self-checkpoint failed to commit");
+            live_version = node->model_version();
+        } else {
+            live_version = v;
+        }
+        ++rep.swaps_committed;
+        m_swapped.add();
+        obs::TraceRecorder::global().instant(
+            "serving.swap.committed",
+            {{"version", std::to_string(live_version)}});
+        line(TranscriptLevel::kSummary,
+             "[t=%.6f] swap v%llu committed at batch boundary", t,
+             static_cast<unsigned long long>(live_version));
+    }
+
+    // ---- dispatch / completion -------------------------------------
+    void
+    try_dispatch(double t)
+    {
+        if (flight) return;
+        if (cfg.shed_expired) {
+            for (const auto& r : queue.shed_expired(t)) {
+                auto& c = tally[static_cast<size_t>(r.cls)];
+                ++c.shed;
+                m_shed.add();
+                line(TranscriptLevel::kFull,
+                     "[t=%.6f] shed id=%lld class=%s expired", t,
+                     static_cast<long long>(r.id),
+                     cfg.mix.classes[static_cast<size_t>(r.cls)]
+                         .name.c_str());
+            }
+        }
+        if (queue.empty()) return;
+
+        const auto deadlines = queue.edf_deadlines(
+            static_cast<size_t>(cfg.planner.max_batch));
+        const double dops = current_diag_ops(t);
+        const BatchDecision d =
+            planner.plan(planner_gpu, cfg.net, t, deadlines, dops);
+        INSITU_CHECK(d.batch > 0, "planner returned an empty batch");
+        if (!d.deadline_feasible) ++rep.drain_batches;
+
+        InFlight f;
+        f.reqs = queue.pop_edf(static_cast<size_t>(d.batch));
+        f.seq = batch_seq++;
+        f.start_s = t;
+        f.version = node != nullptr ? node->model_version()
+                                    : live_version;
+        // Ground truth: the host executes under the same Fig. 16
+        // interference the planner predicted with.
+        const double corun =
+            dops > 0 ? host.analytical().corun_slowdown(
+                           cfg.net.total_ops() *
+                               static_cast<double>(d.batch),
+                           dops)
+                     : 1.0;
+        const double exec = host.run_batch(cfg.net, d.batch, corun);
+        f.completion_s = t + exec;
+
+        // Measured operating point for the calibration loop: the
+        // pure inference time (interference divided back out — the
+        // runtime knows the factor it applied).
+        local.histogram(exec_histogram_name(d.batch))
+            .observe(exec / corun);
+        m_exec.observe(exec);
+        m_batch_size.observe(static_cast<double>(d.batch));
+        m_batches.add();
+        batch_images += d.batch;
+
+        if (node != nullptr && cfg.real_inference_every > 0 &&
+            f.seq % cfg.real_inference_every == 0) {
+            const int64_t n =
+                std::min<int64_t>(d.batch, pool.size());
+            const auto preds =
+                node->inference().predict(pool.images.slice0(0, n));
+            m_real_preds.add(static_cast<int64_t>(preds.size()));
+        }
+
+        publish(t);
+        f.span_id = obs::TraceRecorder::global().begin_with_attrs(
+            "serving.batch",
+            {{"size", std::to_string(d.batch)},
+             {"version", std::to_string(f.version)}});
+        line(TranscriptLevel::kSummary,
+             "[t=%.6f] batch #%lld start size=%lld version=%llu "
+             "pred=%.6f corun=%.3f feasible=%d depth=%lld",
+             t, static_cast<long long>(f.seq),
+             static_cast<long long>(d.batch),
+             static_cast<unsigned long long>(f.version),
+             d.predicted_s, corun, d.deadline_feasible ? 1 : 0,
+             static_cast<long long>(deadlines.size()));
+        flight = std::move(f);
+    }
+
+    void
+    complete(double t)
+    {
+        InFlight f = std::move(*flight);
+        flight.reset();
+
+        // No-tear proof: the live version must not have moved while
+        // the batch was in flight (commits happen only right here,
+        // after this check).
+        const uint64_t now_version =
+            node != nullptr ? node->model_version() : live_version;
+        if (now_version != f.version) rep.swap_torn = true;
+
+        int64_t late = 0;
+        for (const auto& r : f.reqs) {
+            auto& c = tally[static_cast<size_t>(r.cls)];
+            const double latency = t - r.arrival_s;
+            ++c.served;
+            c.latencies.push_back(latency);
+            m_served.add();
+            m_latency.observe(latency);
+            if (t > r.deadline_s + kDeadlineEps) {
+                ++c.late;
+                ++late;
+                m_missed.add();
+            }
+        }
+        publish(t);
+        obs::TraceRecorder::global().end(f.span_id);
+        line(TranscriptLevel::kSummary,
+             "[t=%.6f] batch #%lld done size=%lld late=%lld", t,
+             static_cast<long long>(f.seq),
+             static_cast<long long>(f.reqs.size()),
+             static_cast<long long>(late));
+        rep.makespan_s = t;
+
+        // The batch boundary: the only legal swap point.
+        commit_staged(t);
+        try_dispatch(t);
+    }
+
+    void
+    arrive(double t)
+    {
+        const Request& r = arrivals[next_arrival++];
+        auto& c = tally[static_cast<size_t>(r.cls)];
+        ++c.arrived;
+        m_arrived.add();
+        if (queue.admit(r)) {
+            m_admitted.add();
+            line(TranscriptLevel::kFull,
+                 "[t=%.6f] arrive id=%lld class=%s deadline=%.6f", t,
+                 static_cast<long long>(r.id),
+                 cfg.mix.classes[static_cast<size_t>(r.cls)]
+                     .name.c_str(),
+                 r.deadline_s);
+        } else {
+            ++c.dropped;
+            m_dropped.add();
+            line(TranscriptLevel::kFull,
+                 "[t=%.6f] drop id=%lld class=%s queue-full", t,
+                 static_cast<long long>(r.id),
+                 cfg.mix.classes[static_cast<size_t>(r.cls)]
+                     .name.c_str());
+        }
+        try_dispatch(t);
+    }
+
+    void
+    diag_tick(double t)
+    {
+        diag_until_s = t + diag_duration_s;
+        publish(t);
+        obs::TraceRecorder::global().instant("serving.diag.tick");
+        line(TranscriptLevel::kSummary,
+             "[t=%.6f] diagnosis co-runs for %.6f s", t,
+             diag_duration_s);
+        if (node != nullptr && cfg.real_inference_every > 0 &&
+            pool.size() >= 9) {
+            const auto flags =
+                node->diagnosis().diagnose(pool.images.slice0(0, 9));
+            (void)flags;
+        }
+    }
+
+    void
+    calib_tick(double t)
+    {
+        const auto obs_points =
+            observations_from_snapshot(local.snapshot());
+        int64_t samples = 0;
+        for (const auto& o : obs_points) samples += o.count;
+        if (samples < cfg.calibration.min_samples) return;
+
+        const GpuCalibration calib =
+            fit_calibration(planner_gpu, cfg.net, obs_points);
+        planner_gpu.set_calibration(calib);
+        ++rep.calibration_fits;
+        m_fits.add();
+        m_time_scale.set(calib.time_scale);
+        m_overhead.set(calib.overhead_s);
+
+        std::vector<double> residuals;
+        residuals.reserve(obs_points.size());
+        for (const auto& o : obs_points) {
+            const double r = std::abs(planner_gpu.residual(
+                cfg.net, o.batch, o.mean_seconds));
+            residuals.push_back(r);
+            m_residual.observe(r);
+        }
+        std::sort(residuals.begin(), residuals.end());
+        publish(t);
+        obs::TraceRecorder::global().instant(
+            "serving.calib.fit",
+            {{"scale", obs::format_double(calib.time_scale)}});
+        line(TranscriptLevel::kSummary,
+             "[t=%.6f] calib fit #%lld scale=%.4f overhead=%.6f "
+             "samples=%lld residual_p50=%.4f",
+             t, static_cast<long long>(rep.calibration_fits),
+             calib.time_scale, calib.overhead_s,
+             static_cast<long long>(samples),
+             quantile(residuals, 0.50));
+    }
+
+    // ---- the event loop --------------------------------------------
+    ServingReport
+    run()
+    {
+        INSITU_CHECK(!ran, "ServingRuntime::run() is single-shot");
+        ran = true;
+
+        arrivals = generate_arrivals(cfg.mix);
+        if (cfg.corun.update_period_s > 0)
+            next_update_s = cfg.corun.update_period_s;
+        if (cfg.corun.diagnosis_period_s > 0) {
+            next_diag_s = cfg.corun.diagnosis_period_s;
+            diag_duration_s = host.mean_batch_seconds(
+                diag_net, cfg.corun.diagnosis_batch);
+        }
+        if (cfg.calibration.period_s > 0)
+            next_calib_s = cfg.calibration.period_s;
+
+        line(TranscriptLevel::kSummary,
+             "[serving] mix=%s policy=%s%s requests=%lld "
+             "duration=%.1fs",
+             cfg.mix.name.c_str(),
+             planner_mode_name(cfg.planner.mode),
+             cfg.planner.mode == PlannerMode::kStatic
+                 ? ("(" + std::to_string(cfg.planner.static_batch) +
+                    ")")
+                       .c_str()
+                 : "",
+             static_cast<long long>(arrivals.size()),
+             cfg.mix.duration_s);
+
+        while (flight || next_arrival < arrivals.size()) {
+            // Candidate event times; ties resolve by this fixed
+            // order: completion < arrival < update < diag < calib.
+            const double tc = flight ? flight->completion_s : kInf;
+            const double ta = next_arrival < arrivals.size()
+                                  ? arrivals[next_arrival].arrival_s
+                                  : kInf;
+            const double t_work = std::min(tc, ta);
+            const double t_tick = std::min(
+                {next_update_s, next_diag_s, next_calib_s});
+
+            if (t_tick < t_work) {
+                // Ticks fire only while work remains, which bounds
+                // them: after the last completion the loop exits.
+                if (next_update_s == t_tick) {
+                    next_update_s += cfg.corun.update_period_s;
+                    stage_update(t_tick);
+                } else if (next_diag_s == t_tick) {
+                    next_diag_s += cfg.corun.diagnosis_period_s;
+                    diag_tick(t_tick);
+                } else {
+                    next_calib_s += cfg.calibration.period_s;
+                    calib_tick(t_tick);
+                }
+                continue;
+            }
+            if (tc <= ta)
+                complete(tc);
+            else
+                arrive(ta);
+        }
+
+        finish();
+        return std::move(rep);
+    }
+
+    void
+    finish()
+    {
+        rep.duration_s = cfg.mix.duration_s;
+        rep.batches = batch_seq;
+        rep.mean_batch_size =
+            batch_seq > 0 ? static_cast<double>(batch_images) /
+                                static_cast<double>(batch_seq)
+                          : 0.0;
+        rep.final_calibration = planner_gpu.calibration();
+
+        if (rep.calibration_fits > 0) {
+            const auto obs_points =
+                observations_from_snapshot(local.snapshot());
+            double sum = 0;
+            for (const auto& o : obs_points)
+                sum += std::abs(planner_gpu.residual(
+                    cfg.net, o.batch, o.mean_seconds));
+            rep.mean_abs_residual =
+                obs_points.empty()
+                    ? 0.0
+                    : sum / static_cast<double>(obs_points.size());
+        }
+
+        ClassReport total;
+        total.name = "total";
+        std::vector<double> all_latencies;
+        for (size_t i = 0; i < tally.size(); ++i) {
+            auto& c = tally[i];
+            ClassReport r;
+            r.name = cfg.mix.classes[i].name;
+            r.arrived = c.arrived;
+            r.served = c.served;
+            r.served_late = c.late;
+            r.dropped_capacity = c.dropped;
+            r.shed_expired = c.shed;
+            std::sort(c.latencies.begin(), c.latencies.end());
+            r.p50_latency_s = quantile(c.latencies, 0.50);
+            r.p99_latency_s = quantile(c.latencies, 0.99);
+            r.miss_rate =
+                c.arrived > 0
+                    ? static_cast<double>(r.missed()) /
+                          static_cast<double>(c.arrived)
+                    : 0.0;
+            total.arrived += r.arrived;
+            total.served += r.served;
+            total.served_late += r.served_late;
+            total.dropped_capacity += r.dropped_capacity;
+            total.shed_expired += r.shed_expired;
+            all_latencies.insert(all_latencies.end(),
+                                 c.latencies.begin(),
+                                 c.latencies.end());
+            rep.classes.push_back(std::move(r));
+        }
+        std::sort(all_latencies.begin(), all_latencies.end());
+        total.p50_latency_s = quantile(all_latencies, 0.50);
+        total.p99_latency_s = quantile(all_latencies, 0.99);
+        total.miss_rate =
+            total.arrived > 0
+                ? static_cast<double>(total.missed()) /
+                      static_cast<double>(total.arrived)
+                : 0.0;
+        rep.total = total;
+
+        line(TranscriptLevel::kSummary,
+             "[serving] done: batches=%lld mean_batch=%.2f "
+             "served=%lld missed=%lld (%.2f%%) p50=%.4fs p99=%.4fs "
+             "swaps=%lld/%lld fits=%lld torn=%d",
+             static_cast<long long>(rep.batches),
+             rep.mean_batch_size,
+             static_cast<long long>(rep.total.served),
+             static_cast<long long>(rep.total.missed()),
+             100.0 * rep.total.miss_rate, rep.total.p50_latency_s,
+             rep.total.p99_latency_s,
+             static_cast<long long>(rep.swaps_committed),
+             static_cast<long long>(rep.updates_staged),
+             static_cast<long long>(rep.calibration_fits),
+             rep.swap_torn ? 1 : 0);
+    }
+};
+
+ServingRuntime::ServingRuntime(ServingConfig config, InsituNode* node)
+    : impl_(std::make_unique<Impl>(std::move(config), node))
+{}
+
+ServingRuntime::~ServingRuntime() = default;
+
+ServingReport
+ServingRuntime::run()
+{
+    return impl_->run();
+}
+
+const obs::MetricsRegistry&
+ServingRuntime::local_metrics() const
+{
+    return impl_->local;
+}
+
+} // namespace insitu::serving

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The async co-running serving runtime (docs/serving.md).
+ *
+ * An event-driven simulation of one edge node serving an open-loop
+ * inference stream while its other duties co-run:
+ *
+ * - **Inference stream**: bursty arrivals (serving/traffic.h) land in
+ *   the EDF admission queue; whenever the device goes idle the batch
+ *   planner (serving/batch_planner.h) forms the next dispatch and the
+ *   simulated host (serving/host.h) executes it.
+ * - **Diagnosis ticks**: a periodic diagnosis batch co-runs on the
+ *   device; inference batches dispatched inside its window are
+ *   inflated by the Fig. 16 interference model — and the planner
+ *   knows it, because it consults the same model online.
+ * - **Incremental updates**: the cloud loop's weight updates arrive
+ *   on their own cadence and are *staged* into the node's
+ *   double-buffer (InsituNode::stage_deployment); the runtime commits
+ *   them only at batch boundaries, so an in-flight batch is never
+ *   torn and the stream never stalls.
+ * - **Calibration ticks**: the fit of serving/calibrate.h re-runs
+ *   periodically over the measured `serving.exec.time_s.b*` span
+ *   histograms, updating the planner's GpuModel constants in place —
+ *   the planner self-tunes to the host it is actually running on.
+ *
+ * Determinism contract: the event loop is serial, every random draw
+ * comes from seeded streams owned by the scenario, timestamps come
+ * from the simulated timeline, and ties between event kinds resolve
+ * by a fixed priority — so a run's transcript, report and telemetry
+ * are byte-identical at any INSITU_THREADS width (pinned by the
+ * `check_serving` ctest).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synth.h"
+#include "hw/gpu_model.h"
+#include "hw/spec.h"
+#include "obs/metrics.h"
+#include "serving/batch_planner.h"
+#include "serving/host.h"
+#include "serving/queue.h"
+#include "serving/traffic.h"
+
+namespace insitu {
+class InsituNode;
+}
+
+namespace insitu::serving {
+
+/** Co-running duties riding along the inference stream. */
+struct CorunConfig {
+    /// Period of the co-running diagnosis batch (0 = no co-runner).
+    double diagnosis_period_s = 0;
+    /// Images per diagnosis batch (its outstanding work feeds the
+    /// Fig. 16 interference model).
+    int64_t diagnosis_batch = 9;
+    /// Period of incremental weight updates from the cloud loop
+    /// (0 = none). Updates are staged at arrival and committed at
+    /// the next batch boundary.
+    double update_period_s = 0;
+};
+
+/** Online self-calibration of the planner's time model. */
+struct CalibrationConfig {
+    /// Refit period (0 = never calibrate; the planner then runs on
+    /// the raw analytical model).
+    double period_s = 0;
+    /// Measured batches required before the first fit is trusted.
+    int64_t min_samples = 8;
+};
+
+/** Transcript verbosity. */
+enum class TranscriptLevel {
+    kOff,     ///< no transcript
+    kSummary, ///< batches, swaps, calibration, stage summaries
+    kFull     ///< + every arrival/drop/shed
+};
+
+/** Everything configurable about one serving run. */
+struct ServingConfig {
+    TrafficMix mix;
+    PlannerConfig planner;
+    CorunConfig corun;
+    CalibrationConfig calibration;
+    HostProfile host;
+    GpuSpec gpu = tx1_spec();
+    /// Analytical descriptor of the inference network (what the
+    /// planner's Eq 3-8 model reasons about).
+    NetworkDesc net = alexnet_desc();
+    /// Descriptor of the co-running diagnosis batch; empty layers =
+    /// derive diagnosis_desc(net).
+    NetworkDesc diagnosis_net;
+    size_t queue_capacity = 512;
+    /// Drop already-expired requests at batch formation instead of
+    /// spending device time on guaranteed misses.
+    bool shed_expired = true;
+    TranscriptLevel transcript = TranscriptLevel::kOff;
+    /// With a node attached: actually run InsituNode inference on
+    /// every Nth dispatched batch (0 = never). Timing always comes
+    /// from the simulated host; this grounds the stream in the real
+    /// substrate and tallies the nn.* metrics.
+    int64_t real_inference_every = 0;
+    /// Image geometry of the synthetic request payloads used when
+    /// real_inference_every > 0 (must match the node's networks).
+    SynthConfig synth;
+};
+
+/** Outcome tallies for one class (or the total row). */
+struct ClassReport {
+    std::string name;
+    int64_t arrived = 0;
+    int64_t served = 0;           ///< completed (late ones included)
+    int64_t served_late = 0;      ///< completed after their deadline
+    int64_t dropped_capacity = 0; ///< rejected at a full queue
+    int64_t shed_expired = 0;     ///< dropped as already expired
+    double p50_latency_s = 0;     ///< over served requests
+    double p99_latency_s = 0;
+    /// Deadline misses (late + dropped + shed) / arrived.
+    double miss_rate = 0;
+
+    int64_t
+    missed() const
+    {
+        return served_late + dropped_capacity + shed_expired;
+    }
+};
+
+/** Everything one run produces. */
+struct ServingReport {
+    std::vector<ClassReport> classes; ///< one per mix class
+    ClassReport total;                ///< aggregated, name "total"
+
+    int64_t batches = 0;
+    double mean_batch_size = 0;
+    int64_t drain_batches = 0; ///< dispatched deadline-infeasible
+
+    int64_t updates_staged = 0;
+    int64_t mid_batch_stages = 0; ///< updates that arrived in flight
+    int64_t swaps_committed = 0;
+    /// Device idle time attributable to weight swaps. The
+    /// double-buffer protocol guarantees 0; reported so tests can
+    /// pin it.
+    double swap_stall_s = 0;
+    /// True if any batch observed a version change between its start
+    /// and completion. The protocol guarantees false.
+    bool swap_torn = false;
+
+    int64_t calibration_fits = 0;
+    GpuCalibration final_calibration;
+    /// Mean |relative residual| of the measured operating points
+    /// against the final calibrated model (0 when never calibrated).
+    double mean_abs_residual = 0;
+
+    double duration_s = 0; ///< configured arrival horizon
+    double makespan_s = 0; ///< last batch completion
+    std::string transcript;
+};
+
+/** One full serving scenario, runnable once. */
+class ServingRuntime {
+  public:
+    /**
+     * @param node optional edge node: enables the real double-buffer
+     *        swap path (stage_deployment/commit_staged_deployment)
+     *        and, with real_inference_every > 0, real inference on
+     *        dispatched batches. Without a node the runtime tracks
+     *        versions itself (benches use this: same protocol, no
+     *        weight copies).
+     */
+    explicit ServingRuntime(ServingConfig config,
+                            InsituNode* node = nullptr);
+    ~ServingRuntime();
+
+    /** Execute the scenario. Call exactly once per runtime. */
+    ServingReport run();
+
+    /** The run's private metrics (the `serving.exec.time_s.b*`
+     * calibration histograms live here, isolated per run). */
+    const obs::MetricsRegistry& local_metrics() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace insitu::serving

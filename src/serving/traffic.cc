@@ -1,0 +1,101 @@
+#include "serving/traffic.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace insitu::serving {
+
+namespace {
+
+/** Exponential draw with the given mean. Strictly positive. */
+double
+exp_draw(Rng& rng, double mean)
+{
+    // uniform() is in [0, 1); 1 - u is in (0, 1], so the log is
+    // finite and the gap is >= 0; nudge away from an exact zero so
+    // arrival times are strictly increasing.
+    const double u = rng.uniform();
+    const double gap = -std::log(1.0 - u) * mean;
+    return gap > 0 ? gap : mean * 1e-12;
+}
+
+} // namespace
+
+std::vector<Request>
+generate_arrivals(const TrafficMix& mix,
+                  std::vector<BurstWindow>* bursts)
+{
+    INSITU_CHECK(mix.duration_s > 0, "mix duration must be positive");
+    INSITU_CHECK(mix.calm_rate_hz > 0, "calm rate must be positive");
+    INSITU_CHECK(mix.burst_rate_mult >= 1.0,
+                 "burst multiplier must be >= 1");
+    INSITU_CHECK(!mix.classes.empty(), "mix needs at least one class");
+
+    double total_weight = 0;
+    for (const auto& c : mix.classes) {
+        INSITU_CHECK(c.weight > 0, "class weight must be positive");
+        INSITU_CHECK(c.deadline_s > 0, "class deadline must be positive");
+        total_weight += c.weight;
+    }
+
+    Rng rng(mix.seed);
+    std::vector<Request> out;
+    out.reserve(static_cast<size_t>(
+        mix.duration_s * mix.calm_rate_hz * mix.burst_rate_mult));
+
+    bool burst = false; // streams start calm
+    double t = 0.0;
+    double state_end = exp_draw(rng, mix.mean_calm_s);
+    int64_t next_id = 0;
+    while (t < mix.duration_s) {
+        // Roll the state machine forward past any dwell boundaries
+        // before drawing the next gap at the then-current rate.
+        while (state_end <= t) {
+            burst = !burst;
+            const double dwell = exp_draw(
+                rng, burst ? mix.mean_burst_s : mix.mean_calm_s);
+            if (burst && bursts != nullptr)
+                bursts->push_back(
+                    {state_end,
+                     std::min(state_end + dwell, mix.duration_s)});
+            state_end += dwell;
+        }
+        const double rate = burst
+                                ? mix.calm_rate_hz * mix.burst_rate_mult
+                                : mix.calm_rate_hz;
+        const double gap = exp_draw(rng, 1.0 / rate);
+        // A gap that crosses the state boundary is re-drawn at the
+        // new state's rate from the boundary (memorylessness makes
+        // this exact for an MMPP).
+        if (t + gap > state_end) {
+            t = state_end;
+            continue;
+        }
+        t += gap;
+        if (t >= mix.duration_s) break;
+
+        Request r;
+        r.id = next_id++;
+        r.arrival_s = t;
+        // Class assignment: one uniform draw against the cumulative
+        // weights.
+        const double pick = rng.uniform() * total_weight;
+        double acc = 0;
+        r.cls = static_cast<int>(mix.classes.size()) - 1;
+        for (size_t i = 0; i < mix.classes.size(); ++i) {
+            acc += mix.classes[i].weight;
+            if (pick < acc) {
+                r.cls = static_cast<int>(i);
+                break;
+            }
+        }
+        r.deadline_s =
+            t + mix.classes[static_cast<size_t>(r.cls)].deadline_s;
+        out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace insitu::serving

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic open-loop bursty load generator.
+ *
+ * Arrivals follow a two-state Markov-modulated Poisson process
+ * (MMPP-2): the stream alternates between a *calm* state (rate
+ * calm_rate_hz) and a *burst* state (rate calm_rate_hz *
+ * burst_rate_mult), with exponentially distributed dwell times in
+ * each state. Within a state, inter-arrival gaps are exponential.
+ * Every draw comes from one seeded Rng stream, so a mix generates the
+ * byte-identical arrival list on every run at any thread width —
+ * the generator is the seed of the serving determinism contract.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serving/request.h"
+
+namespace insitu::serving {
+
+/** One traffic scenario: load shape + deadline classes. */
+struct TrafficMix {
+    std::string name = "mix";
+    double duration_s = 60.0;     ///< arrivals stop after this
+    double calm_rate_hz = 20.0;   ///< arrival rate in the calm state
+    double burst_rate_mult = 6.0; ///< burst rate = calm * this
+    double mean_calm_s = 8.0;     ///< mean dwell in the calm state
+    double mean_burst_s = 2.0;    ///< mean dwell in the burst state
+    std::vector<RequestClass> classes{{"default", 0.5, 1.0}};
+    uint64_t seed = 1;
+};
+
+/** One [begin, end) interval the generator spent in the burst state
+ * (for tests and transcripts). */
+struct BurstWindow {
+    double begin_s = 0;
+    double end_s = 0;
+};
+
+/**
+ * Generate the full arrival list of @p mix: sorted by arrival time
+ * (ties impossible: gaps are strictly positive), ids dense from 0.
+ * Optionally reports the burst windows via @p bursts.
+ */
+std::vector<Request> generate_arrivals(const TrafficMix& mix,
+                                       std::vector<BurstWindow>*
+                                           bursts = nullptr);
+
+} // namespace insitu::serving

@@ -284,5 +284,108 @@ TEST(GpuVsFpga, GpuMoreEnergyEfficientSingleRunning)
     EXPECT_GT(gpu_eff, fpga_eff);
 }
 
+// ---- self-calibration of the analytical time model (serving) ------
+
+/** Synthetic host: the analytical model under a known affine error. */
+std::vector<BatchObservation>
+affine_observations(const GpuModel& gpu, const NetworkDesc& net,
+                    double scale, double overhead,
+                    const std::vector<int64_t>& batches)
+{
+    std::vector<BatchObservation> obs;
+    for (int64_t b : batches) {
+        BatchObservation o;
+        o.batch = b;
+        o.mean_seconds = scale * gpu.network_latency(net, b) + overhead;
+        o.count = 4;
+        obs.push_back(o);
+    }
+    return obs;
+}
+
+TEST(GpuCalibration, RecoversAffineConstantsExactly)
+{
+    // Noise-free measurements that ARE an affine transform of the
+    // model must be fit exactly (the perf4sight-style regression has
+    // a closed-form optimum here).
+    const GpuModel gpu(tx1_spec());
+    const NetworkDesc net = alexnet_desc();
+    const auto obs =
+        affine_observations(gpu, net, 1.7, 0.003, {1, 2, 4, 8, 16});
+    const GpuCalibration fit = fit_calibration(gpu, net, obs);
+    EXPECT_NEAR(fit.time_scale, 1.7, 1e-9);
+    EXPECT_NEAR(fit.overhead_s, 0.003, 1e-12);
+    EXPECT_EQ(fit.samples, 20);
+}
+
+TEST(GpuCalibration, CalibratedPredictionsMatchMeasurements)
+{
+    GpuModel gpu(tx1_spec());
+    const NetworkDesc net = alexnet_desc();
+    const auto obs =
+        affine_observations(gpu, net, 1.4, 0.002, {1, 4, 16});
+    gpu.set_calibration(fit_calibration(gpu, net, obs));
+    for (const auto& o : obs) {
+        EXPECT_NEAR(gpu.predicted_batch_latency(net, o.batch),
+                    o.mean_seconds, 1e-9);
+        EXPECT_NEAR(gpu.residual(net, o.batch, o.mean_seconds), 0.0,
+                    1e-9);
+    }
+    // network_latency() itself stays uncalibrated (the Eq 5 model).
+    EXPECT_LT(gpu.network_latency(net, 4),
+              gpu.predicted_batch_latency(net, 4));
+}
+
+TEST(GpuCalibration, HeldOutBatchSizeWithinTolerance)
+{
+    // Fit on {1..8}, predict 32: the affine correction generalizes
+    // across batch sizes because the model supplies the shape.
+    GpuModel gpu(tx1_spec());
+    const NetworkDesc net = alexnet_desc();
+    const double scale = 1.55, overhead = 0.0045;
+    gpu.set_calibration(fit_calibration(
+        gpu, net,
+        affine_observations(gpu, net, scale, overhead, {1, 2, 4, 8})));
+    const double truth =
+        scale * gpu.network_latency(net, 32) + overhead;
+    EXPECT_NEAR(gpu.predicted_batch_latency(net, 32), truth,
+                0.01 * truth);
+}
+
+TEST(GpuCalibration, ResidualsMonotoneInMeasurementError)
+{
+    // Same batch, growing measured time => growing signed residual;
+    // exact measurement => zero.
+    GpuModel gpu(tx1_spec());
+    const NetworkDesc net = alexnet_desc();
+    const double base = gpu.predicted_batch_latency(net, 8);
+    double prev = gpu.residual(net, 8, base * 0.9);
+    EXPECT_LT(prev, 0.0);
+    EXPECT_NEAR(gpu.residual(net, 8, base), 0.0, 1e-12);
+    for (double f : {1.05, 1.2, 1.5}) {
+        const double r = gpu.residual(net, 8, base * f);
+        EXPECT_GT(r, prev);
+        prev = r;
+    }
+}
+
+TEST(GpuCalibration, DegenerateInputsFallBack)
+{
+    const GpuModel gpu(tx1_spec());
+    const NetworkDesc net = alexnet_desc();
+
+    // No observations: identity.
+    const GpuCalibration none = fit_calibration(gpu, net, {});
+    EXPECT_TRUE(none.is_identity());
+
+    // A single batch size is rank-deficient for the 2-parameter fit:
+    // fall back to a pure scale (still matching that point).
+    const auto one =
+        affine_observations(gpu, net, 2.0, 0.0, {8});
+    const GpuCalibration fit = fit_calibration(gpu, net, one);
+    EXPECT_NEAR(fit.time_scale, 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(fit.overhead_s, 0.0);
+}
+
 } // namespace
 } // namespace insitu

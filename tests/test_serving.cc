@@ -1,0 +1,530 @@
+/**
+ * @file
+ * Unit tests for the async serving runtime: the bursty load
+ * generator, the EDF admission queue, the node's double-buffered
+ * weight swaps, the online batch planner, the calibration bridge and
+ * the end-to-end runtime invariants (determinism, no-tear swaps,
+ * planner-beats-static).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cloud/update_service.h"
+#include "iot/node.h"
+#include "serving/calibrate.h"
+#include "serving/scenarios.h"
+
+namespace insitu::serving {
+namespace {
+
+TrafficMix
+small_mix()
+{
+    TrafficMix mix;
+    mix.name = "test";
+    mix.duration_s = 30.0;
+    mix.calm_rate_hz = 10.0;
+    mix.burst_rate_mult = 6.0;
+    mix.mean_calm_s = 4.0;
+    mix.mean_burst_s = 1.5;
+    mix.classes = {{"fast", 0.1, 0.5}, {"slow", 1.0, 0.5}};
+    mix.seed = 11;
+    return mix;
+}
+
+// ---- traffic generator --------------------------------------------
+
+TEST(Traffic, ArrivalsAreDeterministic)
+{
+    const TrafficMix mix = small_mix();
+    const auto a = generate_arrivals(mix);
+    const auto b = generate_arrivals(mix);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].cls, b[i].cls);
+        EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s);
+        EXPECT_DOUBLE_EQ(a[i].deadline_s, b[i].deadline_s);
+    }
+}
+
+TEST(Traffic, StreamStructureHolds)
+{
+    const TrafficMix mix = small_mix();
+    const auto arrivals = generate_arrivals(mix);
+    ASSERT_FALSE(arrivals.empty());
+    double prev = 0.0;
+    for (size_t i = 0; i < arrivals.size(); ++i) {
+        const Request& r = arrivals[i];
+        EXPECT_EQ(r.id, static_cast<int64_t>(i)); // ids dense from 0
+        EXPECT_GT(r.arrival_s, prev);             // strictly ordered
+        EXPECT_LT(r.arrival_s, mix.duration_s);
+        ASSERT_GE(r.cls, 0);
+        ASSERT_LT(r.cls, 2);
+        // Absolute deadline = arrival + class relative deadline.
+        EXPECT_DOUBLE_EQ(r.deadline_s,
+                         r.arrival_s +
+                             mix.classes[static_cast<size_t>(r.cls)]
+                                 .deadline_s);
+        prev = r.arrival_s;
+    }
+    // Both classes actually drawn (weights 0.5/0.5 over hundreds).
+    int64_t fast = 0;
+    for (const auto& r : arrivals) fast += r.cls == 0 ? 1 : 0;
+    EXPECT_GT(fast, 0);
+    EXPECT_LT(fast, static_cast<int64_t>(arrivals.size()));
+}
+
+TEST(Traffic, BurstWindowsCarryHigherRate)
+{
+    const TrafficMix mix = small_mix();
+    std::vector<BurstWindow> bursts;
+    const auto arrivals = generate_arrivals(mix, &bursts);
+    ASSERT_FALSE(bursts.empty());
+
+    double burst_time = 0.0;
+    int64_t burst_arrivals = 0;
+    for (const auto& w : bursts) {
+        EXPECT_GE(w.begin_s, 0.0);
+        EXPECT_GT(w.end_s, w.begin_s);
+        EXPECT_LE(w.end_s, mix.duration_s);
+        burst_time += w.end_s - w.begin_s;
+        for (const auto& r : arrivals)
+            if (r.arrival_s >= w.begin_s && r.arrival_s < w.end_s)
+                ++burst_arrivals;
+    }
+    const double calm_time = mix.duration_s - burst_time;
+    const double calm_arrivals =
+        static_cast<double>(arrivals.size()) -
+        static_cast<double>(burst_arrivals);
+    ASSERT_GT(burst_time, 0.0);
+    ASSERT_GT(calm_time, 0.0);
+    // Empirical burst rate must clearly exceed the calm rate (the
+    // configured ratio is 6x; demand at least 2x to stay robust).
+    EXPECT_GT(static_cast<double>(burst_arrivals) / burst_time,
+              2.0 * calm_arrivals / calm_time);
+}
+
+// ---- admission queue ----------------------------------------------
+
+Request
+make_request(int64_t id, double arrival, double deadline)
+{
+    Request r;
+    r.id = id;
+    r.cls = 0;
+    r.arrival_s = arrival;
+    r.deadline_s = deadline;
+    return r;
+}
+
+TEST(AdmissionQueue, PopsInEdfOrder)
+{
+    AdmissionQueue q(8);
+    // Admission order is arrival order; deadlines are shuffled.
+    q.admit(make_request(0, 0.0, 0.9));
+    q.admit(make_request(1, 0.1, 0.3));
+    q.admit(make_request(2, 0.2, 0.6));
+    q.admit(make_request(3, 0.3, 0.3)); // deadline tie: id breaks it
+
+    const auto deadlines = q.edf_deadlines(3);
+    ASSERT_EQ(deadlines.size(), 3u);
+    EXPECT_DOUBLE_EQ(deadlines[0], 0.3);
+    EXPECT_DOUBLE_EQ(deadlines[1], 0.3);
+    EXPECT_DOUBLE_EQ(deadlines[2], 0.6);
+
+    const auto batch = q.pop_edf(3);
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_EQ(batch[0].id, 1);
+    EXPECT_EQ(batch[1].id, 3);
+    EXPECT_EQ(batch[2].id, 2);
+    EXPECT_EQ(q.depth(), 1u);
+    EXPECT_EQ(q.pop_edf(5).size(), 1u); // n > depth: returns depth
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(AdmissionQueue, DropsAtCapacity)
+{
+    AdmissionQueue q(2);
+    EXPECT_TRUE(q.admit(make_request(0, 0.0, 1.0)));
+    EXPECT_TRUE(q.admit(make_request(1, 0.0, 2.0)));
+    EXPECT_FALSE(q.admit(make_request(2, 0.0, 0.5)));
+    EXPECT_EQ(q.depth(), 2u);
+    EXPECT_EQ(q.stats().arrived, 3);
+    EXPECT_EQ(q.stats().admitted, 2);
+    EXPECT_EQ(q.stats().dropped_capacity, 1);
+}
+
+TEST(AdmissionQueue, ShedsOnlyExpired)
+{
+    AdmissionQueue q(8);
+    q.admit(make_request(0, 0.0, 0.2));
+    q.admit(make_request(1, 0.0, 0.4));
+    q.admit(make_request(2, 0.0, 0.8));
+    const auto shed = q.shed_expired(0.5);
+    ASSERT_EQ(shed.size(), 2u);
+    EXPECT_EQ(shed[0].id, 0);
+    EXPECT_EQ(shed[1].id, 1);
+    EXPECT_EQ(q.depth(), 1u);
+    EXPECT_EQ(q.stats().shed_expired, 2);
+    // Deadline exactly now is not yet expired.
+    EXPECT_TRUE(q.shed_expired(0.8).empty());
+}
+
+// ---- double-buffered weight swaps on the node ---------------------
+
+float
+first_fc_weight(InsituNode& node)
+{
+    const auto ii =
+        node.inference().network().conv_layer_indices();
+    return node.inference()
+        .network()
+        .layer(ii[4])
+        .params()[0]
+        ->value()
+        .at(0);
+}
+
+TEST(DoubleBuffer, StageIsInvisibleUntilCommit)
+{
+    TinyConfig tiny;
+    tiny.num_permutations = 8;
+    ModelUpdateService cloud(tiny, titan_x_spec(), 10);
+    InsituNode node(tiny, cloud.permutations(), 3, DiagnosisConfig{},
+                    11);
+
+    for (auto& p : cloud.inference().params()) p->value().fill(0.5f);
+    node.deploy_diagnosis(cloud.jigsaw());
+    node.deploy_inference(cloud.inference());
+    const NodeCheckpoint old = node.checkpoint();
+    const uint64_t v_old = node.model_version();
+    EXPECT_GT(v_old, 0u);
+
+    // New cloud weights deploy... but staged, not live.
+    for (auto& p : cloud.inference().params()) p->value().fill(0.25f);
+    node.deploy_inference(cloud.inference());
+    const NodeCheckpoint next = node.checkpoint();
+    EXPECT_TRUE(node.restore(old));
+    const uint64_t v_live = node.model_version();
+
+    const uint64_t v_staged = node.stage_deployment(next);
+    EXPECT_TRUE(node.has_staged_deployment());
+    EXPECT_EQ(node.staged_version(), v_staged);
+    EXPECT_GT(v_staged, v_live);
+    EXPECT_EQ(node.model_version(), v_live); // live untouched
+    EXPECT_EQ(first_fc_weight(node), 0.5f);  // weights untouched
+
+    // The batch boundary: commit makes it live, atomically.
+    EXPECT_TRUE(node.commit_staged_deployment());
+    EXPECT_FALSE(node.has_staged_deployment());
+    EXPECT_EQ(node.model_version(), v_staged);
+    EXPECT_EQ(first_fc_weight(node), 0.25f);
+}
+
+TEST(DoubleBuffer, LastStagedUpdateWins)
+{
+    TinyConfig tiny;
+    tiny.num_permutations = 8;
+    ModelUpdateService cloud(tiny, titan_x_spec(), 12);
+    InsituNode node(tiny, cloud.permutations(), 3, DiagnosisConfig{},
+                    13);
+    node.deploy_diagnosis(cloud.jigsaw());
+    node.deploy_inference(cloud.inference());
+
+    const uint64_t v1 = node.stage_deployment(node.checkpoint());
+    const uint64_t v2 = node.stage_deployment(node.checkpoint());
+    EXPECT_GT(v2, v1);
+    EXPECT_EQ(node.staged_version(), v2);
+    EXPECT_TRUE(node.commit_staged_deployment());
+    EXPECT_EQ(node.model_version(), v2);
+}
+
+TEST(DoubleBuffer, BadCheckpointCommitLeavesNodeUntouched)
+{
+    TinyConfig tiny;
+    tiny.num_permutations = 8;
+    ModelUpdateService cloud(tiny, titan_x_spec(), 14);
+    InsituNode node(tiny, cloud.permutations(), 3, DiagnosisConfig{},
+                    15);
+    for (auto& p : cloud.inference().params()) p->value().fill(0.5f);
+    node.deploy_diagnosis(cloud.jigsaw());
+    node.deploy_inference(cloud.inference());
+    const uint64_t v_live = node.model_version();
+
+    NodeCheckpoint bad = node.checkpoint();
+    bad.inference_blob = "not a weight blob";
+    node.stage_deployment(bad);
+    EXPECT_FALSE(node.commit_staged_deployment());
+    EXPECT_FALSE(node.has_staged_deployment()); // not retried
+    EXPECT_EQ(node.model_version(), v_live);
+    EXPECT_EQ(first_fc_weight(node), 0.5f);
+}
+
+// ---- batch planner ------------------------------------------------
+
+TEST(Planner, StaticModeIgnoresDeadlines)
+{
+    PlannerConfig cfg;
+    cfg.mode = PlannerMode::kStatic;
+    cfg.static_batch = 4;
+    const BatchPlanner planner(cfg);
+    const GpuModel gpu(tx1_spec());
+    const NetworkDesc net = alexnet_desc();
+
+    const std::vector<double> ten(10, -1.0); // all long expired
+    EXPECT_EQ(planner.plan(gpu, net, 0.0, ten, 0.0).batch, 4);
+    const std::vector<double> two(2, -1.0);
+    EXPECT_EQ(planner.plan(gpu, net, 0.0, two, 0.0).batch, 2);
+}
+
+TEST(Planner, PicksLargestDeadlineFeasiblePrefix)
+{
+    PlannerConfig cfg;
+    cfg.max_batch = 8;
+    const BatchPlanner planner(cfg);
+    const GpuModel gpu(tx1_spec());
+    const NetworkDesc net = alexnet_desc();
+
+    // Generous front deadline: take the whole queue.
+    const std::vector<double> relaxed(6, 100.0);
+    const BatchDecision all = planner.plan(gpu, net, 0.0, relaxed, 0.0);
+    EXPECT_EQ(all.batch, 6);
+    EXPECT_TRUE(all.deadline_feasible);
+
+    // Front slack strictly between the predicted batch-1 and batch-2
+    // times: only batch 1 fits.
+    const double t1 =
+        cfg.safety * gpu.predicted_batch_latency(net, 1);
+    const double t2 =
+        cfg.safety * gpu.predicted_batch_latency(net, 2);
+    ASSERT_LT(t1, t2);
+    std::vector<double> tight(6, 100.0);
+    tight[0] = 0.5 * (t1 + t2);
+    const BatchDecision one = planner.plan(gpu, net, 0.0, tight, 0.0);
+    EXPECT_EQ(one.batch, 1);
+    EXPECT_TRUE(one.deadline_feasible);
+    EXPECT_NEAR(one.predicted_s, t1, 1e-12);
+}
+
+TEST(Planner, DrainModeMaximizesThroughput)
+{
+    PlannerConfig cfg;
+    cfg.max_batch = 8;
+    const BatchPlanner planner(cfg);
+    const GpuModel gpu(tx1_spec());
+    const NetworkDesc net = alexnet_desc();
+
+    // Every deadline hopeless: drain at max throughput. For the Eq 5
+    // model, images/s grows with batch, so the cap wins.
+    const std::vector<double> hopeless(12, -1.0);
+    const BatchDecision d = planner.plan(gpu, net, 0.0, hopeless, 0.0);
+    EXPECT_FALSE(d.deadline_feasible);
+    EXPECT_EQ(d.batch, 8);
+}
+
+TEST(Planner, CorunInterferenceShrinksTheBatch)
+{
+    PlannerConfig cfg;
+    cfg.max_batch = 16;
+    const BatchPlanner planner(cfg);
+    const GpuModel gpu(tx1_spec());
+    const NetworkDesc net = alexnet_desc();
+
+    // A front deadline strictly between the batch-16 prediction
+    // alone and under interference: without the co-runner the full
+    // batch fits, with it the planner must back off.
+    const double diag_ops = diagnosis_desc(net).total_ops() * 9.0;
+    const double t16 =
+        cfg.safety * gpu.predicted_batch_latency(net, 16);
+    const double slow =
+        gpu.corun_slowdown(net.total_ops() * 16.0, diag_ops);
+    ASSERT_GT(slow, 1.0);
+    std::vector<double> deadlines(16, 0.5 * t16 * (1.0 + slow));
+    const int64_t alone =
+        planner.plan(gpu, net, 0.0, deadlines, 0.0).batch;
+    EXPECT_EQ(alone, 16);
+    const int64_t corun =
+        planner.plan(gpu, net, 0.0, deadlines, diag_ops).batch;
+    EXPECT_LT(corun, alone);
+    EXPECT_GE(corun, 1);
+}
+
+// ---- calibration bridge -------------------------------------------
+
+TEST(Calibrate, HistogramNamesRoundTrip)
+{
+    EXPECT_EQ(exec_histogram_name(8), "serving.exec.time_s.b008");
+    EXPECT_EQ(exec_histogram_name(32), "serving.exec.time_s.b032");
+    EXPECT_EQ(parse_exec_histogram_name("serving.exec.time_s.b008"),
+              8);
+    EXPECT_EQ(parse_exec_histogram_name("serving.exec.time_s"), -1);
+    EXPECT_EQ(parse_exec_histogram_name("nn.forward.time_s"), -1);
+}
+
+TEST(Calibrate, ObservationsAggregateTheHistograms)
+{
+    obs::MetricsRegistry reg;
+    reg.histogram(exec_histogram_name(4)).observe(0.040);
+    reg.histogram(exec_histogram_name(4)).observe(0.060);
+    reg.histogram(exec_histogram_name(1)).observe(0.020);
+    reg.histogram("serving.exec.time_s").observe(9.0); // not b*
+    reg.histogram(exec_histogram_name(16)); // empty: skipped
+
+    const auto obs_points =
+        observations_from_snapshot(reg.snapshot());
+    ASSERT_EQ(obs_points.size(), 2u);
+    EXPECT_EQ(obs_points[0].batch, 1); // ascending by batch
+    EXPECT_EQ(obs_points[0].count, 1);
+    EXPECT_NEAR(obs_points[0].mean_seconds, 0.020, 1e-6);
+    EXPECT_EQ(obs_points[1].batch, 4);
+    EXPECT_EQ(obs_points[1].count, 2);
+    EXPECT_NEAR(obs_points[1].mean_seconds, 0.050, 1e-6);
+}
+
+TEST(Calibrate, RegistryFitRecoversHostConstants)
+{
+    const GpuModel gpu(tx1_spec());
+    const NetworkDesc net = alexnet_desc();
+    const double scale = 1.6, overhead = 0.004;
+
+    obs::MetricsRegistry reg;
+    for (int64_t b : {1, 2, 4, 8, 16}) {
+        const double t = scale * gpu.network_latency(net, b) + overhead;
+        reg.histogram(exec_histogram_name(b)).observe(t);
+        reg.histogram(exec_histogram_name(b)).observe(t);
+    }
+    const GpuCalibration fit =
+        calibrate_from_registry(reg, gpu, net);
+    EXPECT_EQ(fit.samples, 10);
+    EXPECT_NEAR(fit.time_scale, scale, 1e-3);
+    EXPECT_NEAR(fit.overhead_s, overhead, 1e-4);
+
+    // An empty registry yields the identity.
+    obs::MetricsRegistry empty;
+    EXPECT_TRUE(
+        calibrate_from_registry(empty, gpu, net).is_identity());
+}
+
+// ---- end-to-end runtime -------------------------------------------
+
+TEST(Runtime, RunsAreByteDeterministic)
+{
+    auto once = []() {
+        ServingConfig cfg = make_scenario("interactive_burst", 5.0, 3);
+        cfg.transcript = TranscriptLevel::kFull;
+        ServingRuntime runtime(cfg);
+        return runtime.run();
+    };
+    const ServingReport a = once();
+    const ServingReport b = once();
+    EXPECT_GT(a.batches, 0);
+    EXPECT_EQ(a.transcript, b.transcript);
+    EXPECT_EQ(a.total.arrived, b.total.arrived);
+    EXPECT_EQ(a.total.served, b.total.served);
+    EXPECT_DOUBLE_EQ(a.total.p99_latency_s, b.total.p99_latency_s);
+    EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+    EXPECT_EQ(a.calibration_fits, b.calibration_fits);
+    EXPECT_DOUBLE_EQ(a.final_calibration.time_scale,
+                     b.final_calibration.time_scale);
+}
+
+TEST(Runtime, ServesEveryAdmittedRequestExactlyOnce)
+{
+    ServingConfig cfg = make_scenario("interactive_burst", 5.0, 4);
+    ServingRuntime runtime(cfg);
+    const ServingReport rep = runtime.run();
+    EXPECT_GT(rep.total.arrived, 0);
+    // arrived = served + dropped + shed (no request lost or doubled).
+    EXPECT_EQ(rep.total.arrived,
+              rep.total.served + rep.total.dropped_capacity +
+                  rep.total.shed_expired);
+    EXPECT_GE(rep.makespan_s, 0.0);
+    EXPECT_EQ(rep.swap_torn, false);
+}
+
+TEST(Runtime, CalibrationConvergesOnTheHostConstants)
+{
+    ServingConfig cfg = make_scenario("bulk_heavy", 10.0, 5);
+    ServingRuntime runtime(cfg);
+    const ServingReport rep = runtime.run();
+    ASSERT_GT(rep.calibration_fits, 0);
+    // The host profile is scale 1.6 / overhead 4 ms with 5% jitter;
+    // the fitted constants must land near them and the residuals of
+    // the measured operating points must be small.
+    EXPECT_NEAR(rep.final_calibration.time_scale,
+                cfg.host.time_scale, 0.1);
+    EXPECT_NEAR(rep.final_calibration.overhead_s, cfg.host.overhead_s,
+                0.002);
+    EXPECT_LT(rep.mean_abs_residual, 0.1);
+}
+
+TEST(Runtime, MidBurstSwapsNeverStallOrTear)
+{
+    TinyConfig tiny;
+    tiny.num_permutations = 8;
+    ModelUpdateService cloud(tiny, titan_x_spec(), 20);
+    InsituNode node(tiny, cloud.permutations(), 3, DiagnosisConfig{},
+                    21);
+    node.deploy_diagnosis(cloud.jigsaw());
+    node.deploy_inference(cloud.inference());
+    const uint64_t v0 = node.model_version();
+
+    // Near-saturated mix with frequent updates: some must land while
+    // a batch is in flight.
+    ServingConfig cfg = make_scenario("bulk_heavy", 8.0, 6);
+    cfg.corun.update_period_s = 0.7;
+    ServingRuntime runtime(cfg, &node);
+    const ServingReport rep = runtime.run();
+
+    EXPECT_GE(rep.updates_staged, 5);
+    EXPECT_GE(rep.mid_batch_stages, 1);
+    EXPECT_GE(rep.swaps_committed, 1);
+    EXPECT_LE(rep.swaps_committed, rep.updates_staged);
+    EXPECT_FALSE(rep.swap_torn);
+    EXPECT_DOUBLE_EQ(rep.swap_stall_s, 0.0);
+    EXPECT_GT(node.model_version(), v0);
+}
+
+TEST(Runtime, RealInferenceGroundsTheStream)
+{
+    TinyConfig tiny;
+    tiny.num_permutations = 8;
+    ModelUpdateService cloud(tiny, titan_x_spec(), 22);
+    InsituNode node(tiny, cloud.permutations(), 3, DiagnosisConfig{},
+                    23);
+    node.deploy_diagnosis(cloud.jigsaw());
+    node.deploy_inference(cloud.inference());
+
+    ServingConfig cfg = make_scenario("interactive_burst", 2.0, 7);
+    cfg.real_inference_every = 2;
+    ServingRuntime runtime(cfg, &node);
+    const ServingReport rep = runtime.run();
+    EXPECT_GT(rep.total.served, 0);
+
+    // The run's local registry holds the calibration histograms.
+    const auto obs_points = observations_from_snapshot(
+        runtime.local_metrics().snapshot());
+    EXPECT_FALSE(obs_points.empty());
+}
+
+TEST(Runtime, PlannerBeatsStaticBaselines)
+{
+    // Smoke version of the acceptance sweep (check_serving runs the
+    // full one): on the bursty interactive mix the online planner's
+    // miss rate must not exceed any static policy's.
+    auto miss_rate = [](PlannerMode mode, int64_t static_b) {
+        ServingConfig cfg = make_scenario("interactive_burst", 6.0, 7);
+        cfg.planner.mode = mode;
+        cfg.planner.static_batch = static_b;
+        ServingRuntime runtime(cfg);
+        return runtime.run().total.miss_rate;
+    };
+    const double online = miss_rate(PlannerMode::kOnline, 0);
+    EXPECT_LE(online, miss_rate(PlannerMode::kStatic, 1));
+    EXPECT_LE(online, miss_rate(PlannerMode::kStatic, 16));
+}
+
+} // namespace
+} // namespace insitu::serving
