@@ -14,8 +14,18 @@
  * line per mix and exits non-zero unless the planner's deadline-miss
  * rate is <= every static policy on every mix.
  *
+ * `--chaos`: the gray-failure story (docs/serving.md, "Device gray
+ * failures and the degradation ladder"). First a fault-free sanity
+ * pair — the guarded runtime's transcript must be byte-identical to
+ * the unguarded one, with zero health transitions — then the
+ * device-chaos scenario (thermal throttle + jitter storm + transient
+ * stalls) guarded vs unguarded: the verdict demands the ladder keep
+ * the guaranteed class's deadline-miss rate strictly below the
+ * unguarded planner's. Byte-diffed across INSITU_THREADS by the
+ * check_degrade ctest.
+ *
  * Build: cmake --build build --target serving_demo
- * Run:   ./build/examples/serving_demo [--acceptance]
+ * Run:   ./build/examples/serving_demo [--acceptance|--chaos]
  */
 #include <cstdio>
 #include <cstring>
@@ -46,7 +56,8 @@ print_report(const ServingReport& rep)
                     static_cast<long long>(c.served),
                     static_cast<long long>(c.served_late),
                     static_cast<long long>(c.dropped_capacity +
-                                           c.shed_expired),
+                                           c.shed_expired +
+                                           c.shed_degraded),
                     c.p50_latency_s * 1e3, c.p99_latency_s * 1e3,
                     100.0 * c.miss_rate);
     };
@@ -154,6 +165,104 @@ run_acceptance()
     return pass ? 0 : 1;
 }
 
+/** --chaos: device gray failures, guarded vs unguarded. */
+int
+run_chaos()
+{
+    const double duration_s = 30.0;
+    const uint64_t seed = 11;
+
+    auto run_cfg = [](ServingConfig cfg) {
+        ServingRuntime runtime(std::move(cfg));
+        return runtime.run();
+    };
+    auto degradation_row = [](const char* tag,
+                              const ServingReport& rep) {
+        std::printf("%-10s health=%s max_rung=%d transitions=%lld "
+                    "shed=%lld diag_skipped=%lld calib_skipped=%lld "
+                    "forced_drain=%lld recoveries=%lld\n",
+                    tag, rep.degradation.final_state.c_str(),
+                    rep.degradation.max_rung,
+                    static_cast<long long>(
+                        rep.degradation.transitions),
+                    static_cast<long long>(
+                        rep.degradation.shed_degraded),
+                    static_cast<long long>(
+                        rep.degradation.diag_skipped),
+                    static_cast<long long>(
+                        rep.degradation.calib_skipped),
+                    static_cast<long long>(
+                        rep.degradation.forced_drain),
+                    static_cast<long long>(
+                        rep.degradation.recoveries));
+    };
+
+    std::printf("== device gray failures vs the degradation "
+                "ladder ==\n");
+
+    // -- 1. fault-free sanity: the detector must never trip, and the
+    // guarded transcript must match the unguarded one byte for byte.
+    ServingConfig base = make_scenario("diurnal_corun", duration_s,
+                                       seed);
+    base.transcript = TranscriptLevel::kSummary;
+    ServingConfig unguarded_base = base;
+    unguarded_base.degrade.enabled = false;
+    const ServingReport ff_guarded = run_cfg(base);
+    const ServingReport ff_unguarded = run_cfg(unguarded_base);
+    const bool fault_free_ok =
+        ff_guarded.transcript == ff_unguarded.transcript &&
+        ff_guarded.degradation.transitions == 0 &&
+        ff_guarded.degradation.max_rung == 0 &&
+        ff_guarded.degradation.shed_degraded == 0;
+    std::printf("fault-free: transitions=%lld max_rung=%d "
+                "transcripts %s -> %s\n",
+                static_cast<long long>(
+                    ff_guarded.degradation.transitions),
+                ff_guarded.degradation.max_rung,
+                ff_guarded.transcript == ff_unguarded.transcript
+                    ? "identical"
+                    : "DIFFER",
+                fault_free_ok ? "ok" : "FAIL");
+
+    // -- 2. chaos: throttle + jitter storm + stalls, guarded vs
+    // unguarded on the identical scenario seed.
+    ServingConfig guarded = make_device_chaos(duration_s, seed);
+    guarded.transcript = TranscriptLevel::kSummary;
+    ServingConfig unguarded = guarded;
+    unguarded.degrade.enabled = false;
+    const ServingReport chaos_guarded = run_cfg(guarded);
+    const ServingReport chaos_unguarded = run_cfg(unguarded);
+
+    std::printf("--- guarded chaos transcript (summary level) "
+                "---\n%s",
+                chaos_guarded.transcript.c_str());
+    std::printf("--- unguarded (planner only) ---\n");
+    print_report(chaos_unguarded);
+    degradation_row("unguarded", chaos_unguarded);
+    std::printf("--- guarded (degradation ladder) ---\n");
+    print_report(chaos_guarded);
+    degradation_row("guarded", chaos_guarded);
+
+    // The guaranteed class is the mix's non-best-effort one
+    // (interactive); the ladder must protect it strictly.
+    const ClassReport& g = chaos_guarded.classes[0];
+    const ClassReport& u = chaos_unguarded.classes[0];
+    const bool protects = g.miss_rate < u.miss_rate;
+    const bool engaged = chaos_guarded.degradation.max_rung >= 2 &&
+                         chaos_guarded.degradation.shed_degraded > 0;
+    std::printf("guaranteed class '%s': guarded miss=%.2f%% "
+                "p99=%.2fms vs unguarded miss=%.2f%% p99=%.2fms "
+                "(%s)\n",
+                g.name.c_str(), 100.0 * g.miss_rate,
+                g.p99_latency_s * 1e3, 100.0 * u.miss_rate,
+                u.p99_latency_s * 1e3,
+                protects ? "strictly better" : "NOT better");
+
+    const bool pass = fault_free_ok && protects && engaged;
+    std::printf("chaos acceptance: %s\n", pass ? "PASS" : "FAIL");
+    return pass ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -162,7 +271,9 @@ main(int argc, char** argv)
     // Simulated telemetry time: spans and instants carry the event
     // loop's timeline, and output is byte-stable across hosts.
     obs::TelemetryClock::global().enable_simulated(0.0);
-    const bool acceptance =
-        argc > 1 && std::strcmp(argv[1], "--acceptance") == 0;
-    return acceptance ? run_acceptance() : run_demo();
+    if (argc > 1 && std::strcmp(argv[1], "--acceptance") == 0)
+        return run_acceptance();
+    if (argc > 1 && std::strcmp(argv[1], "--chaos") == 0)
+        return run_chaos();
+    return run_demo();
 }

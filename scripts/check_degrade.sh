@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Gray-failure degradation gate, run as a ctest (`check_degrade`).
+# Two checks on the serving_demo example's --chaos mode:
+#
+# 1. Determinism: the device-chaos run (thermal throttle + jitter
+#    storm + transient stalls, gray-failure detector and degradation
+#    ladder engaged) must print byte-identical output at
+#    INSITU_THREADS=1 and 4 — every rung decision is a serial-loop
+#    function of the scenario seed.
+# 2. Acceptance: the --chaos verdict itself — a fault-free run never
+#    trips the detector (transcript identical to the unguarded
+#    runtime's), and under chaos the ladder keeps the guaranteed
+#    class's deadline-miss rate strictly below the unguarded online
+#    planner's.
+#
+# Usage: check_degrade.sh <path-to-serving_demo-binary>
+set -u
+
+if [ $# -ne 1 ] || [ ! -x "$1" ]; then
+    printf 'usage: %s <serving_demo binary>\n' "$0" >&2
+    exit 2
+fi
+binary="$1"
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+# -- 1. byte-identical chaos transcript across thread counts ---------
+for threads in 1 4; do
+    if ! INSITU_THREADS=$threads "$binary" --chaos \
+            > "$tmpdir/threads$threads.out" 2>&1; then
+        printf 'check_degrade: FAILED (exit code at threads=%s)\n' \
+            "$threads" >&2
+        cat "$tmpdir/threads$threads.out" >&2
+        exit 1
+    fi
+done
+
+if ! diff -u "$tmpdir/threads1.out" "$tmpdir/threads4.out" >&2; then
+    printf 'check_degrade: FAILED (chaos transcript differs across thread counts)\n' >&2
+    exit 1
+fi
+
+# -- 2. the chaos verdict itself --------------------------------------
+if ! grep -q 'chaos acceptance: PASS' "$tmpdir/threads1.out"; then
+    printf 'check_degrade: FAILED (no PASS verdict in chaos output)\n' >&2
+    cat "$tmpdir/threads1.out" >&2
+    exit 1
+fi
+
+printf 'check_degrade: OK (%s chaos lines bit-identical, ladder protects the guaranteed class)\n' \
+    "$(wc -l < "$tmpdir/threads1.out")"

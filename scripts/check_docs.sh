@@ -81,7 +81,8 @@ else
     for needle in 'tensor.' 'nn.forward' 'nn.backward' 'iot.uplink' \
             'iot.fleet' 'iot.breaker' 'iot.supervisor' \
             'faults.injected' 'cloud.' 'parallel.' 'bench.' \
-            'storage.' 'serving.' 'INSITU_TELEMETRY_JSONL' \
+            'storage.' 'serving.' 'serving.health' 'serving.degrade' \
+            'serving.queue.' 'INSITU_TELEMETRY_JSONL' \
             'wall_s'; do
         if ! grep -qF "$needle" "$obs"; then
             note "docs/observability.md does not mention $needle"
@@ -97,11 +98,28 @@ if [ ! -f "$srv" ]; then
     fail=1
 else
     # The load-bearing sections: the Eq 3-8 symbol mapping, the swap
-    # protocol, the calibration data path and the determinism gate.
+    # protocol, the calibration data path, the determinism gate and
+    # the gray-failure degradation story.
     for needle in 'Eq' 'double buffer' 'serving.exec.time_s' \
-            'check_serving' 'fit_calibration' 'EDF'; do
+            'check_serving' 'fit_calibration' 'EDF' \
+            'degradation ladder' 'check_degrade' 'best_effort'; do
         if ! grep -qF "$needle" "$srv"; then
             note "docs/serving.md does not mention $needle"
+            fail=1
+        fi
+    done
+fi
+
+# --- 5. the device gray-failure recovery rows stay documented -------
+rob="$root/docs/robustness.md"
+if [ ! -f "$rob" ]; then
+    note "missing docs/robustness.md"
+    fail=1
+else
+    for needle in 'Recovery matrix' 'thermal throttle' 'jitter storm' \
+            'transient stall' '0xDE71CE'; do
+        if ! grep -qiF "$needle" "$rob"; then
+            note "docs/robustness.md does not mention $needle"
             fail=1
         fi
     done

@@ -40,10 +40,26 @@ enum class FaultKind {
                         ///< file and the atomic rename
     kStaleSnapshot,     ///< a snapshot replace is silently lost, so
                         ///< recovery sees the previous version
+    kThermalThrottle,   ///< the device clocks down inside a window:
+                        ///< batch times ramp up to a peak slowdown
+                        ///< (the perf4sight modeled-vs-measured gap)
+    kTransientStall,    ///< one dispatch takes k x its predicted
+                        ///< time (page fault, DVFS hiccup, preempt)
+    kJitterStorm,       ///< execution-time jitter inflates inside a
+                        ///< window, poisoning calibration fits
 };
+
+/// Number of FaultKind members. The exhaustive round-trip test in
+/// tests/test_faults.cc walks [0, kFaultKindCount) and fails if an
+/// added member is missing a name string (or this count is stale).
+inline constexpr int kFaultKindCount = 13;
 
 /** Printable name of a fault kind. */
 const char* fault_kind_name(FaultKind kind);
+
+/** Inverse of fault_kind_name. Fatal-checks that @p name is one of
+ * the printable names (use for config parsing and tests). */
+FaultKind fault_kind_from_name(const char* name);
 
 /** A closed-open interval [from_s, to_s) during which the link is down. */
 struct OutageWindow {
@@ -71,6 +87,37 @@ struct FlappingWindow {
 struct NodeCrashEvent {
     int stage = 0;
     int node = 0;
+};
+
+/**
+ * A thermal-throttle episode (kThermalThrottle): inside
+ * [from_s, to_s) the device's batch times are multiplied by a
+ * slowdown that ramps linearly from 1 at from_s up to peak_slowdown
+ * over ramp_s seconds, then holds — the way a passively cooled edge
+ * GPU heats up and clocks down under sustained load. A pure function
+ * of time: no RNG draw, so arming a throttle never perturbs any
+ * replay stream.
+ */
+struct ThrottleWindow {
+    double from_s = 0;
+    double to_s = 0;
+    double peak_slowdown = 1.5; ///< multiplicative, >= 1
+    double ramp_s = 5.0;        ///< seconds to reach the peak (0 = step)
+};
+
+/**
+ * A jitter storm (kJitterStorm): inside [from_s, to_s) every batch
+ * execution gains an extra +-jitter_frac uniform multiplicative
+ * jitter on top of the host's baseline jitter. The extra draws come
+ * from the injector's *device* stream, so the host's own jitter
+ * replay is untouched. Storms do not shift the mean — they widen the
+ * spread, which is exactly what poisons a least-squares calibration
+ * fit.
+ */
+struct JitterStormWindow {
+    double from_s = 0;
+    double to_s = 0;
+    double jitter_frac = 0.3; ///< extra uniform jitter in [0, 1)
 };
 
 /**
@@ -108,6 +155,18 @@ struct FaultPlan {
     /// Probability a snapshot replace is silently dropped
     /// (kStaleSnapshot; recovery sees the previous version).
     double stale_snapshot_prob = 0.0;
+    /// Thermal-throttle episodes (kThermalThrottle): batch times ramp
+    /// to a peak multiplicative slowdown inside each window.
+    std::vector<ThrottleWindow> throttles;
+    /// Jitter storms (kJitterStorm): extra execution-time jitter
+    /// inside each window, drawn from the device stream.
+    std::vector<JitterStormWindow> jitter_storms;
+    /// Probability one dispatch stalls (kTransientStall), taking
+    /// transient_stall_mult x its fault-free time. Drawn from the
+    /// device stream.
+    double transient_stall_prob = 0.0;
+    /// Slowdown of a stalled dispatch (>= 1).
+    double transient_stall_mult = 4.0;
     /// Seed of the injector's private random stream.
     uint64_t seed = 0xFA17ULL;
 
@@ -120,6 +179,27 @@ struct FaultPlan {
      * never perturbs the payload loss/corruption replay sequence.
      */
     bool storage_faulty() const;
+
+    /**
+     * True when any device fault can fire (throttle, transient stall
+     * or jitter storm). Device draws come from the injector's
+     * *device* stream, isolated like the storage stream, so arming
+     * them never perturbs traffic, host-jitter or payload replay.
+     */
+    bool device_faulty() const;
+
+    /**
+     * Thermal-throttle slowdown at time @p t: the largest ramped
+     * factor over the windows covering @p t, or 1 when none does.
+     * Pure function of the plan and @p t.
+     */
+    double throttle_factor(double t) const;
+
+    /**
+     * Extra jitter fraction of the storm covering @p t (largest when
+     * windows overlap), or 0 when the device is calm. Pure.
+     */
+    double storm_jitter_frac(double t) const;
 
     /** Is the link inside an outage window at time @p t? */
     bool link_down(double t) const;

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "util/logging.h"
-
 namespace insitu::serving {
 
 const char*
@@ -20,17 +18,20 @@ BatchDecision
 BatchPlanner::plan(const GpuModel& gpu, const NetworkDesc& net,
                    double now_s,
                    const std::vector<double>& edf_deadlines,
-                   double diagnosis_ops) const
+                   double diagnosis_ops,
+                   const PlanOverrides& overrides) const
 {
-    INSITU_CHECK(!edf_deadlines.empty(),
-                 "plan() called with an empty queue");
+    // Empty queue: the explicit empty decision, not a caller trap.
+    if (edf_deadlines.empty()) return {};
     const int64_t depth =
         static_cast<int64_t>(edf_deadlines.size());
     const int64_t cap = std::min(depth, config_.max_batch);
 
     // Predicted dispatch time of an EDF prefix of size b: calibrated
     // batch latency inflated by the co-running interference of Eq
-    // 3-8's companion model (Fig. 16), then the safety margin.
+    // 3-8's companion model (Fig. 16), then the safety margin (which
+    // the degradation ladder widens when the device turns suspect).
+    const double safety = config_.safety * overrides.safety_mult;
     const auto predict = [&](int64_t b) {
         const double corun =
             diagnosis_ops > 0
@@ -38,8 +39,7 @@ BatchPlanner::plan(const GpuModel& gpu, const NetworkDesc& net,
                                          static_cast<double>(b),
                                      diagnosis_ops)
                 : 1.0;
-        return gpu.predicted_batch_latency(net, b) * corun *
-               config_.safety;
+        return gpu.predicted_batch_latency(net, b) * corun * safety;
     };
 
     BatchDecision d;
@@ -51,9 +51,11 @@ BatchPlanner::plan(const GpuModel& gpu, const NetworkDesc& net,
 
     // Deadline mode: largest EDF prefix whose completion meets the
     // front deadline (the minimum over the prefix, since the list is
-    // ascending).
+    // ascending). Skipped entirely when the ladder forces drain —
+    // predictions a gray-failing device has invalidated must not
+    // gate deadlines.
     const double front_slack = edf_deadlines.front() - now_s;
-    for (int64_t b = cap; b >= 1; --b) {
+    for (int64_t b = overrides.force_drain ? 0 : cap; b >= 1; --b) {
         const double t = predict(b);
         if (t <= front_slack) {
             d.batch = b;

@@ -54,6 +54,21 @@ struct BatchDecision {
     bool deadline_feasible = true; ///< false = drain mode
 };
 
+/**
+ * Per-dispatch adjustments the degradation ladder layers on top of
+ * the static PlannerConfig (serving/degrade.h). Defaults are the
+ * identity, so an unguarded caller plans exactly as before.
+ */
+struct PlanOverrides {
+    /// Multiplies PlannerConfig::safety (rung 1+: hedge against a
+    /// device whose residuals no longer match the calibration).
+    double safety_mult = 1.0;
+    /// Skip the deadline-feasibility search and go straight to drain
+    /// mode's throughput-max batch (rung 4: the predictions cannot be
+    /// trusted to gate deadlines at all).
+    bool force_drain = false;
+};
+
 /** Stateless policy object; all inputs arrive per call. */
 class BatchPlanner {
   public:
@@ -66,15 +81,19 @@ class BatchPlanner {
      * @param net analytical descriptor of the inference network.
      * @param edf_deadlines absolute deadlines of the EDF queue
      *        prefix, ascending; at most max_batch entries are read.
-     *        Must be non-empty.
+     *        An empty list yields the explicit empty decision
+     *        (batch = 0) — there is nothing to dispatch.
      * @param diagnosis_ops outstanding ops of a co-running diagnosis
      *        batch (0 = no co-runner); fed to corun_slowdown so the
      *        prediction accounts for the interference.
+     * @param overrides the degradation ladder's per-dispatch
+     *        adjustments (identity by default).
      */
     BatchDecision plan(const GpuModel& gpu, const NetworkDesc& net,
                        double now_s,
                        const std::vector<double>& edf_deadlines,
-                       double diagnosis_ops) const;
+                       double diagnosis_ops,
+                       const PlanOverrides& overrides = {}) const;
 
     const PlannerConfig& config() const { return config_; }
 

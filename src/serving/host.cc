@@ -14,12 +14,22 @@ SimulatedHost::mean_batch_seconds(const NetworkDesc& net,
 
 double
 SimulatedHost::run_batch(const NetworkDesc& net, int64_t batch,
-                         double corun_factor)
+                         double corun_factor, double now_s)
 {
     INSITU_CHECK(corun_factor >= 1.0, "corun factor below 1");
+    // Baseline jitter draws first, unconditionally: the host's own
+    // stream sees the same sequence whether or not faults are armed.
     const double jitter =
         1.0 + profile_.jitter_frac * (2.0 * rng_.uniform() - 1.0);
-    return mean_batch_seconds(net, batch) * jitter * corun_factor;
+    double t = mean_batch_seconds(net, batch) * jitter * corun_factor;
+    if (faults_ != nullptr && faults_->armed()) {
+        FaultInjector& inj = *faults_->injector;
+        t *= inj.device_slowdown(now_s);
+        t *= inj.storm_jitter(now_s);
+        if (inj.transient_stall())
+            t *= inj.plan().transient_stall_mult;
+    }
+    return t;
 }
 
 } // namespace insitu::serving

@@ -16,10 +16,31 @@
 
 #include <cstdint>
 
+#include "faults/fault_injector.h"
 #include "hw/gpu_model.h"
 #include "util/rng.h"
 
 namespace insitu::serving {
+
+/**
+ * The seam through which device faults (kThermalThrottle,
+ * kTransientStall, kJitterStorm) reach the host. The host stays
+ * fault-oblivious by default: with no state attached — or a plan whose
+ * device faults are all off — run_batch never touches the injector,
+ * consumes no device draws, and replays byte-identically to a
+ * fault-free build. Owned by the runtime, queried on its serial event
+ * loop.
+ */
+struct HostFaultState {
+    FaultInjector* injector = nullptr; ///< not owned; may be null
+
+    /** Can any device fault fire this run? */
+    bool armed() const
+    {
+        return injector != nullptr &&
+               injector->plan().device_faulty();
+    }
+};
 
 /** The true (hidden-from-the-planner) host characteristics. */
 struct HostProfile {
@@ -43,9 +64,18 @@ class SimulatedHost {
      * interference slowdown when a diagnosis kernel co-runs).
      * Each call advances the jitter stream — call order defines the
      * timeline, and the timeline is serial, so runs replay exactly.
+     *
+     * @p now_s is the dispatch's simulation time, consulted only by an
+     * armed HostFaultState (throttle windows and jitter storms are
+     * functions of time). The baseline jitter draw always happens
+     * first, so arming faults never shifts the fault-free jitter
+     * replay.
      */
     double run_batch(const NetworkDesc& net, int64_t batch,
-                     double corun_factor = 1.0);
+                     double corun_factor = 1.0, double now_s = 0.0);
+
+    /** Attach (or detach, with nullptr) the device-fault seam. */
+    void set_fault_state(HostFaultState* faults) { faults_ = faults; }
 
     /** Jitter-free mean batch time (for scenario design and the
      * measured-curve refresh of Fig 11/15). */
@@ -59,6 +89,7 @@ class SimulatedHost {
     GpuModel model_; ///< stays uncalibrated: the host IS the truth
     HostProfile profile_;
     Rng rng_;
+    HostFaultState* faults_ = nullptr; ///< not owned; may be null
 };
 
 } // namespace insitu::serving

@@ -28,15 +28,26 @@ struct AdmissionStats {
     int64_t admitted = 0;
     int64_t dropped_capacity = 0; ///< rejected at a full queue
     int64_t shed_expired = 0;     ///< dropped already-expired at formation
+    int64_t shed_degraded = 0;    ///< refused by the degradation ladder
 };
 
 /** Deterministic EDF priority queue over pending requests. */
 class AdmissionQueue {
   public:
-    explicit AdmissionQueue(size_t capacity) : capacity_(capacity) {}
+    /**
+     * @param num_classes RequestClass count of the traffic mix; sizes
+     *        the per-class stats table (grown on demand if a request
+     *        carries a larger class index).
+     */
+    explicit AdmissionQueue(size_t capacity, size_t num_classes = 1)
+        : capacity_(capacity),
+          per_class_(num_classes > 0 ? num_classes : 1)
+    {}
 
     /**
-     * Admit @p r, or drop it when the queue is full.
+     * Admit @p r, or refuse it: requests of a class currently shed by
+     * the degradation ladder are refused first, then anything hitting
+     * a full queue is dropped. Both outcomes are tallied per class.
      * @return true if admitted.
      */
     bool admit(const Request& r);
@@ -59,9 +70,36 @@ class AdmissionQueue {
      */
     std::vector<Request> shed_expired(double now);
 
+    /**
+     * Install the degradation ladder's shedding mask: requests whose
+     * class index maps to true are refused at admission until the
+     * mask is cleared (empty vector = shed nothing). A runtime
+     * decision taken at batch boundaries on the serial loop.
+     */
+    void
+    set_degraded_shedding(std::vector<bool> shed_by_class)
+    {
+        shed_by_class_ = std::move(shed_by_class);
+    }
+
+    /** Is @p cls currently refused by the shedding mask? */
+    bool
+    sheds_class(int cls) const
+    {
+        const auto i = static_cast<size_t>(cls);
+        return i < shed_by_class_.size() && shed_by_class_[i];
+    }
+
     const AdmissionStats& stats() const { return stats_; }
 
+    /** Per-class tallies (satellite of the serving.queue.* metrics
+     * split; indices follow the mix's class list). */
+    const AdmissionStats& class_stats(int cls) const;
+
   private:
+    /** Growable per-class tally row for @p cls. */
+    AdmissionStats& cls_stats(int cls);
+
     struct EdfOrder {
         bool
         operator()(const Request& a, const Request& b) const
@@ -75,6 +113,8 @@ class AdmissionQueue {
     size_t capacity_;
     std::set<Request, EdfOrder> pending_;
     AdmissionStats stats_;
+    std::vector<AdmissionStats> per_class_;
+    std::vector<bool> shed_by_class_;
 };
 
 } // namespace insitu::serving

@@ -22,6 +22,10 @@ struct RequestClass {
     std::string name;
     double deadline_s = 0.5; ///< relative deadline at arrival
     double weight = 1.0;     ///< share of arrivals (normalized)
+    /// Sheddable under degradation: when the device-health ladder
+    /// reaches its shedding rung, the admission queue refuses this
+    /// class to protect the guaranteed ones (docs/serving.md).
+    bool best_effort = false;
 };
 
 /** One inference request of the open-loop stream. */

@@ -7,6 +7,7 @@
 #include <limits>
 #include <optional>
 
+#include "faults/fault_injector.h"
 #include "iot/node.h"
 #include "obs/clock.h"
 #include "obs/export.h"
@@ -66,6 +67,14 @@ struct ServingRuntime::Impl {
     NetworkDesc diag_net;
     double diag_batch_ops = 0;
 
+    // ---- device faults + gray-failure detection ----
+    std::optional<FaultInjector> injector; ///< armed iff device_faulty
+    HostFaultState fault_state;
+    GrayFailureDetector detector;
+    DeviceHealth cur_state = DeviceHealth::kHealthy;
+    int cur_rung = 0;
+    bool shedding = false; ///< ladder's admission mask installed?
+
     // ---- event timeline state ----
     size_t next_arrival = 0;
     double next_update_s = kInf;
@@ -78,6 +87,8 @@ struct ServingRuntime::Impl {
         std::vector<Request> reqs;
         double start_s = 0;
         double completion_s = 0;
+        double pure_exec_s = 0; ///< measured, interference divided out
+        int64_t batch = 0;
         uint64_t version = 0; ///< live model version at dispatch
         int64_t seq = 0;
         int64_t span_id = -1;
@@ -97,6 +108,7 @@ struct ServingRuntime::Impl {
         int64_t late = 0;
         int64_t dropped = 0;
         int64_t shed = 0;
+        int64_t shed_degraded = 0;
         std::vector<double> latencies;
     };
     std::vector<ClassTally> tally;
@@ -120,17 +132,26 @@ struct ServingRuntime::Impl {
     obs::Counter& m_swapped;
     obs::Counter& m_fits;
     obs::Counter& m_real_preds;
+    obs::Counter& m_shed_degraded;
+    obs::Counter& m_transitions;
+    obs::Counter& m_diag_skipped;
+    obs::Counter& m_calib_skipped;
+    obs::Counter& m_forced_drain;
     obs::Histogram& m_batch_size;
     obs::Histogram& m_latency;
     obs::Histogram& m_exec;
     obs::Histogram& m_residual;
     obs::Gauge& m_time_scale;
     obs::Gauge& m_overhead;
+    obs::Gauge& m_health;
+    obs::Gauge& m_rung;
 
     Impl(ServingConfig config, InsituNode* n)
         : cfg(std::move(config)), node(n),
-          queue(cfg.queue_capacity), host(cfg.gpu, cfg.host),
+          queue(cfg.queue_capacity, cfg.mix.classes.size()),
+          host(cfg.gpu, cfg.host),
           planner_gpu(cfg.gpu), planner(cfg.planner),
+          detector(cfg.detector),
           m_arrived(obs::MetricsRegistry::global().counter(
               "serving.requests.arrived")),
           m_admitted(obs::MetricsRegistry::global().counter(
@@ -153,6 +174,16 @@ struct ServingRuntime::Impl {
               "serving.calib.fits")),
           m_real_preds(obs::MetricsRegistry::global().counter(
               "serving.real.predictions")),
+          m_shed_degraded(obs::MetricsRegistry::global().counter(
+              "serving.requests.shed_degraded")),
+          m_transitions(obs::MetricsRegistry::global().counter(
+              "serving.health.transitions")),
+          m_diag_skipped(obs::MetricsRegistry::global().counter(
+              "serving.degrade.diag_skipped")),
+          m_calib_skipped(obs::MetricsRegistry::global().counter(
+              "serving.degrade.calib_skipped")),
+          m_forced_drain(obs::MetricsRegistry::global().counter(
+              "serving.degrade.forced_drain")),
           m_batch_size(obs::MetricsRegistry::global().histogram(
               "serving.batch.size", batch_size_options())),
           m_latency(obs::MetricsRegistry::global().histogram(
@@ -164,8 +195,17 @@ struct ServingRuntime::Impl {
           m_time_scale(obs::MetricsRegistry::global().gauge(
               "serving.calib.time_scale")),
           m_overhead(obs::MetricsRegistry::global().gauge(
-              "serving.calib.overhead_s"))
+              "serving.calib.overhead_s")),
+          m_health(obs::MetricsRegistry::global().gauge(
+              "serving.health.state")),
+          m_rung(obs::MetricsRegistry::global().gauge(
+              "serving.health.rung"))
     {
+        if (cfg.faults.device_faulty()) {
+            injector.emplace(cfg.faults);
+            fault_state.injector = &*injector;
+            host.set_fault_state(&fault_state);
+        }
         if (cfg.diagnosis_net.layers.empty())
             diag_net = diagnosis_desc(cfg.net);
         else
@@ -280,13 +320,26 @@ struct ServingRuntime::Impl {
         const auto deadlines = queue.edf_deadlines(
             static_cast<size_t>(cfg.planner.max_batch));
         const double dops = current_diag_ops(t);
-        const BatchDecision d =
-            planner.plan(planner_gpu, cfg.net, t, deadlines, dops);
+        // The degradation ladder's per-dispatch adjustments (identity
+        // at rung 0, so healthy runs plan exactly as before).
+        PlanOverrides ov;
+        if (cur_rung >= 1) {
+            ov.safety_mult = cfg.degrade.safety_mult;
+            ++rep.degradation.safety_batches;
+        }
+        if (cur_rung >= cfg.detector.max_rung) {
+            ov.force_drain = true;
+            ++rep.degradation.forced_drain;
+            m_forced_drain.add();
+        }
+        const BatchDecision d = planner.plan(planner_gpu, cfg.net, t,
+                                             deadlines, dops, ov);
         INSITU_CHECK(d.batch > 0, "planner returned an empty batch");
         if (!d.deadline_feasible) ++rep.drain_batches;
 
         InFlight f;
         f.reqs = queue.pop_edf(static_cast<size_t>(d.batch));
+        f.batch = d.batch;
         f.seq = batch_seq++;
         f.start_s = t;
         f.version = node != nullptr ? node->model_version()
@@ -299,14 +352,20 @@ struct ServingRuntime::Impl {
                                static_cast<double>(d.batch),
                            dops)
                      : 1.0;
-        const double exec = host.run_batch(cfg.net, d.batch, corun);
+        const double exec =
+            host.run_batch(cfg.net, d.batch, corun, t);
         f.completion_s = t + exec;
+        f.pure_exec_s = exec / corun;
 
         // Measured operating point for the calibration loop: the
         // pure inference time (interference divided back out — the
-        // runtime knows the factor it applied).
-        local.histogram(exec_histogram_name(d.batch))
-            .observe(exec / corun);
+        // runtime knows the factor it applied). While the device is
+        // unhealthy the sample is withheld — a fit must not learn
+        // from a gray-failing device (probation refits once the
+        // residuals are clean again).
+        if (cur_state == DeviceHealth::kHealthy)
+            local.histogram(exec_histogram_name(d.batch))
+                .observe(f.pure_exec_s);
         m_exec.observe(exec);
         m_batch_size.observe(static_cast<double>(d.batch));
         m_batches.add();
@@ -373,9 +432,74 @@ struct ServingRuntime::Impl {
              static_cast<long long>(late));
         rep.makespan_s = t;
 
-        // The batch boundary: the only legal swap point.
+        // The batch boundary: the only legal swap point, and where
+        // the gray-failure detector sees the batch's residual before
+        // the next dispatch is planned.
+        observe_health(t, f.batch, f.pure_exec_s);
         commit_staged(t);
         try_dispatch(t);
+    }
+
+    /**
+     * Feed one completed batch's calibration residual to the
+     * gray-failure detector and apply whatever rung of the ladder it
+     * decides. Armed only once a fit exists — residuals against the
+     * raw analytical model measure the un-calibrated gap, not device
+     * health — and only for guarded runs.
+     */
+    void
+    observe_health(double t, int64_t batch, double pure_exec_s)
+    {
+        if (!cfg.degrade.enabled || rep.calibration_fits == 0)
+            return;
+        const double r = std::abs(
+            planner_gpu.residual(cfg.net, batch, pure_exec_s));
+        const auto v = detector.observe(r);
+        if (v.changed) {
+            if (v.state != cur_state) {
+                ++rep.degradation.transitions;
+                m_transitions.add();
+                if (v.state == DeviceHealth::kProbation)
+                    ++rep.degradation.probations;
+                if (cur_state == DeviceHealth::kProbation &&
+                    v.state == DeviceHealth::kHealthy)
+                    ++rep.degradation.recoveries;
+            }
+            if (v.rung != cur_rung) ++rep.degradation.rung_changes;
+            rep.degradation.max_rung =
+                std::max(rep.degradation.max_rung, v.rung);
+            cur_state = v.state;
+            cur_rung = v.rung;
+
+            // Rung 2 boundary: (un)install the best-effort shedding
+            // mask at the admission queue.
+            const bool shed_now = cur_rung >= 2;
+            if (shed_now != shedding) {
+                shedding = shed_now;
+                std::vector<bool> mask;
+                if (shed_now) {
+                    mask.resize(cfg.mix.classes.size(), false);
+                    for (size_t i = 0; i < cfg.mix.classes.size();
+                         ++i)
+                        mask[i] = cfg.mix.classes[i].best_effort;
+                }
+                queue.set_degraded_shedding(std::move(mask));
+            }
+
+            m_health.set(static_cast<double>(cur_state));
+            m_rung.set(cur_rung);
+            publish(t);
+            obs::TraceRecorder::global().instant(
+                "serving.health.transition",
+                {{"state", device_health_name(cur_state)},
+                 {"rung", std::to_string(cur_rung)}});
+            line(TranscriptLevel::kSummary,
+                 "[t=%.6f] health %s rung=%d ewma=%.4f shed=%d", t,
+                 device_health_name(cur_state), cur_rung,
+                 detector.ewma(), shedding ? 1 : 0);
+        }
+        // Probation passed: re-fit before trusting the device again.
+        if (v.calibrate) calib_tick(t);
     }
 
     void
@@ -393,6 +517,15 @@ struct ServingRuntime::Impl {
                  cfg.mix.classes[static_cast<size_t>(r.cls)]
                      .name.c_str(),
                  r.deadline_s);
+        } else if (queue.sheds_class(r.cls)) {
+            ++c.shed_degraded;
+            ++rep.degradation.shed_degraded;
+            m_shed_degraded.add();
+            line(TranscriptLevel::kFull,
+                 "[t=%.6f] shed id=%lld class=%s degraded", t,
+                 static_cast<long long>(r.id),
+                 cfg.mix.classes[static_cast<size_t>(r.cls)]
+                     .name.c_str());
         } else {
             ++c.dropped;
             m_dropped.add();
@@ -511,10 +644,31 @@ struct ServingRuntime::Impl {
                     stage_update(t_tick);
                 } else if (next_diag_s == t_tick) {
                     next_diag_s += cfg.corun.diagnosis_period_s;
-                    diag_tick(t_tick);
+                    // Rung 3+: stretch the diagnosis period by
+                    // skipping windows — the co-run slowdown is pure
+                    // loss on a device already missing predictions.
+                    if (cur_rung >= 3) {
+                        ++rep.degradation.diag_skipped;
+                        m_diag_skipped.add();
+                        line(TranscriptLevel::kSummary,
+                             "[t=%.6f] diagnosis skipped (rung %d)",
+                             t_tick, cur_rung);
+                    } else {
+                        diag_tick(t_tick);
+                    }
                 } else {
                     next_calib_s += cfg.calibration.period_s;
-                    calib_tick(t_tick);
+                    // Periodic fits are suspended while unhealthy: a
+                    // fit would absorb the gray failure into the
+                    // model and blind the detector. Probation runs
+                    // the recovery fit explicitly.
+                    if (cfg.degrade.enabled &&
+                        cur_state != DeviceHealth::kHealthy) {
+                        ++rep.degradation.calib_skipped;
+                        m_calib_skipped.add();
+                    } else {
+                        calib_tick(t_tick);
+                    }
                 }
                 continue;
             }
@@ -564,6 +718,7 @@ struct ServingRuntime::Impl {
             r.served_late = c.late;
             r.dropped_capacity = c.dropped;
             r.shed_expired = c.shed;
+            r.shed_degraded = c.shed_degraded;
             std::sort(c.latencies.begin(), c.latencies.end());
             r.p50_latency_s = quantile(c.latencies, 0.50);
             r.p99_latency_s = quantile(c.latencies, 0.99);
@@ -577,6 +732,7 @@ struct ServingRuntime::Impl {
             total.served_late += r.served_late;
             total.dropped_capacity += r.dropped_capacity;
             total.shed_expired += r.shed_expired;
+            total.shed_degraded += r.shed_degraded;
             all_latencies.insert(all_latencies.end(),
                                  c.latencies.begin(),
                                  c.latencies.end());
@@ -592,6 +748,34 @@ struct ServingRuntime::Impl {
                 : 0.0;
         rep.total = total;
 
+        // Satellite: the serving.queue.* counters split by class, so
+        // shed decisions are auditable per RequestClass.
+        auto& reg = obs::MetricsRegistry::global();
+        for (size_t i = 0; i < cfg.mix.classes.size(); ++i) {
+            const AdmissionStats& qs =
+                queue.class_stats(static_cast<int>(i));
+            const std::string pfx =
+                "serving.queue." + cfg.mix.classes[i].name + ".";
+            reg.counter(pfx + "arrived").add(qs.arrived);
+            reg.counter(pfx + "admitted").add(qs.admitted);
+            reg.counter(pfx + "dropped_capacity")
+                .add(qs.dropped_capacity);
+            reg.counter(pfx + "shed_expired").add(qs.shed_expired);
+            reg.counter(pfx + "shed_degraded").add(qs.shed_degraded);
+        }
+
+        // Gray-failure outcome (the fields the runtime owns; the
+        // injector's device tallies join below when armed).
+        rep.degradation.final_state =
+            device_health_name(detector.state());
+        rep.degradation.final_ewma = detector.ewma();
+        if (injector) {
+            const FaultLog& fl = injector->log();
+            rep.degradation.throttled_batches = fl.throttled_batches;
+            rep.degradation.storm_batches = fl.storm_batches;
+            rep.degradation.stalled_batches = fl.transient_stalls;
+        }
+
         line(TranscriptLevel::kSummary,
              "[serving] done: batches=%lld mean_batch=%.2f "
              "served=%lld missed=%lld (%.2f%%) p50=%.4fs p99=%.4fs "
@@ -606,6 +790,25 @@ struct ServingRuntime::Impl {
              static_cast<long long>(rep.updates_staged),
              static_cast<long long>(rep.calibration_fits),
              rep.swap_torn ? 1 : 0);
+        // Emitted only when the ladder actually moved, so fault-free
+        // transcripts stay byte-identical to the pre-ladder runtime.
+        if (rep.degradation.transitions > 0 ||
+            rep.degradation.shed_degraded > 0)
+            line(TranscriptLevel::kSummary,
+                 "[serving] degradation: state=%s max_rung=%d "
+                 "transitions=%lld shed=%lld diag_skipped=%lld "
+                 "calib_skipped=%lld forced_drain=%lld "
+                 "recoveries=%lld",
+                 rep.degradation.final_state.c_str(),
+                 rep.degradation.max_rung,
+                 static_cast<long long>(rep.degradation.transitions),
+                 static_cast<long long>(
+                     rep.degradation.shed_degraded),
+                 static_cast<long long>(rep.degradation.diag_skipped),
+                 static_cast<long long>(
+                     rep.degradation.calib_skipped),
+                 static_cast<long long>(rep.degradation.forced_drain),
+                 static_cast<long long>(rep.degradation.recoveries));
     }
 };
 

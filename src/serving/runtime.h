@@ -38,10 +38,12 @@
 #include <vector>
 
 #include "data/synth.h"
+#include "faults/fault_plan.h"
 #include "hw/gpu_model.h"
 #include "hw/spec.h"
 #include "obs/metrics.h"
 #include "serving/batch_planner.h"
+#include "serving/degrade.h"
 #include "serving/host.h"
 #include "serving/queue.h"
 #include "serving/traffic.h"
@@ -108,6 +110,16 @@ struct ServingConfig {
     /// Image geometry of the synthetic request payloads used when
     /// real_inference_every > 0 (must match the node's networks).
     SynthConfig synth;
+    /// Device-fault plan (only the device kinds matter here: thermal
+    /// throttles, jitter storms, transient stalls). An empty plan
+    /// arms nothing and consumes no device draws, so fault-free runs
+    /// replay exactly as before the fault seam existed.
+    FaultPlan faults;
+    /// Gray-failure detector thresholds (serving/degrade.h).
+    DetectorConfig detector;
+    /// Degradation ladder knobs; degrade.enabled = false is the
+    /// unguarded baseline every ladder comparison runs against.
+    DegradeConfig degrade;
 };
 
 /** Outcome tallies for one class (or the total row). */
@@ -118,6 +130,7 @@ struct ClassReport {
     int64_t served_late = 0;      ///< completed after their deadline
     int64_t dropped_capacity = 0; ///< rejected at a full queue
     int64_t shed_expired = 0;     ///< dropped as already expired
+    int64_t shed_degraded = 0;    ///< refused by the degradation ladder
     double p50_latency_s = 0;     ///< over served requests
     double p99_latency_s = 0;
     /// Deadline misses (late + dropped + shed) / arrived.
@@ -126,8 +139,29 @@ struct ClassReport {
     int64_t
     missed() const
     {
-        return served_late + dropped_capacity + shed_expired;
+        return served_late + dropped_capacity + shed_expired +
+               shed_degraded;
     }
+};
+
+/** What the gray-failure detector and degradation ladder did. */
+struct DegradationReport {
+    std::string final_state = "healthy";
+    double final_ewma = 0;        ///< residual EWMA at run end
+    int64_t transitions = 0;      ///< health-state changes
+    int64_t rung_changes = 0;     ///< ladder rung moves (both ways)
+    int max_rung = 0;             ///< deepest rung reached
+    int64_t safety_batches = 0;   ///< dispatches planned at rung >= 1
+    int64_t shed_degraded = 0;    ///< requests refused at admission
+    int64_t diag_skipped = 0;     ///< co-run windows skipped (rung >= 3)
+    int64_t calib_skipped = 0;    ///< periodic fits suspended while sick
+    int64_t forced_drain = 0;     ///< dispatches forced to drain (rung 4)
+    int64_t probations = 0;       ///< probation periods entered
+    int64_t recoveries = 0;       ///< probations passed (refit + healthy)
+    // What the device actually did (from the injector's FaultLog):
+    int64_t throttled_batches = 0;
+    int64_t storm_batches = 0;
+    int64_t stalled_batches = 0;
 };
 
 /** Everything one run produces. */
@@ -152,6 +186,8 @@ struct ServingReport {
 
     int64_t calibration_fits = 0;
     GpuCalibration final_calibration;
+    /// Gray-failure detector + degradation ladder outcome.
+    DegradationReport degradation;
     /// Mean |relative residual| of the measured operating points
     /// against the final calibrated model (0 when never calibrated).
     double mean_abs_residual = 0;

@@ -32,9 +32,13 @@ make_scenario(const std::string& name, double duration_s,
     const double cap_rate =
         static_cast<double>(cfg.planner.max_batch) / lmax;
 
-    const RequestClass interactive{"interactive", 6.0 * l1, 0.0};
-    const RequestClass standard{"standard", 20.0 * l1, 0.0};
-    const RequestClass bulk{"bulk", 60.0 * l1, 0.0};
+    // Interactive traffic is the guaranteed class; standard and bulk
+    // are best-effort — the degradation ladder may shed them at
+    // admission to protect interactive deadlines on a sick device.
+    const RequestClass interactive{"interactive", 6.0 * l1, 0.0,
+                                   false};
+    const RequestClass standard{"standard", 20.0 * l1, 0.0, true};
+    const RequestClass bulk{"bulk", 60.0 * l1, 0.0, true};
 
     if (name == "interactive_burst") {
         // Calm traffic fits batch-1 capacity; bursts overshoot it
@@ -73,6 +77,28 @@ make_scenario(const std::string& name, double duration_s,
     } else {
         fatal("unknown serving scenario '" + name + "'");
     }
+    return cfg;
+}
+
+ServingConfig
+make_device_chaos(double duration_s, uint64_t seed)
+{
+    // The full co-running mix, then a sick device: a long thermal
+    // throttle with a jitter storm inside it, plus occasional
+    // transient stalls across the whole run. Windows are fractions
+    // of the horizon so the scenario keeps its shape at any
+    // duration; the tail after the throttle lifts (last 20%) gives
+    // probation room to recover.
+    ServingConfig cfg =
+        make_scenario("diurnal_corun", duration_s, seed);
+    cfg.mix.name = "device_chaos";
+    cfg.faults.throttles.push_back(
+        {0.30 * duration_s, 0.80 * duration_s, 2.3, 2.0});
+    cfg.faults.jitter_storms.push_back(
+        {0.45 * duration_s, 0.70 * duration_s, 0.35});
+    cfg.faults.transient_stall_prob = 0.03;
+    cfg.faults.transient_stall_mult = 5.0;
+    cfg.faults.seed = seed ^ 0xDEC0DEULL;
     return cfg;
 }
 

@@ -48,4 +48,15 @@ std::vector<std::string> scenario_names();
 ServingConfig make_scenario(const std::string& name,
                             double duration_s, uint64_t seed);
 
+/**
+ * The gray-failure chaos scenario: "diurnal_corun" on a device that
+ * thermal-throttles (peak 2.3x, [0.30, 0.80) of the horizon), rides
+ * a jitter storm ([0.45, 0.70), +-35%) and transiently stalls (3% of
+ * dispatches at 5x) — the mix check_degrade and the serving-chaos
+ * bench run. Guarded-vs-unguarded comparisons flip `degrade.enabled`
+ * and leave everything else untouched. Not part of scenario_names():
+ * the canonical mixes stay fault-free.
+ */
+ServingConfig make_device_chaos(double duration_s, uint64_t seed);
+
 } // namespace insitu::serving

@@ -7,6 +7,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "cloud/update_service.h"
 #include "faults/fault_injector.h"
 #include "iot/fleet.h"
@@ -108,6 +111,97 @@ TEST(FaultInjector, SameSeedSameDraws)
     EXPECT_EQ(a.log().payloads_corrupted, b.log().payloads_corrupted);
     EXPECT_GT(a.log().payloads_lost, 0);
     EXPECT_GT(a.log().payloads_corrupted, 0);
+}
+
+TEST(FaultKinds, NamesRoundTripExhaustively)
+{
+    // Every enum member must have a unique printable name that
+    // fault_kind_from_name inverts. An added FaultKind without a
+    // name string (or a stale kFaultKindCount) fails here instead of
+    // printing "?" in production logs.
+    std::set<std::string> seen;
+    for (int i = 0; i < kFaultKindCount; ++i) {
+        const auto kind = static_cast<FaultKind>(i);
+        const std::string name = fault_kind_name(kind);
+        EXPECT_NE(name, "?") << "FaultKind " << i << " has no name";
+        EXPECT_TRUE(seen.insert(name).second)
+            << "duplicate fault kind name '" << name << "'";
+        EXPECT_EQ(fault_kind_from_name(name.c_str()), kind);
+    }
+    EXPECT_EQ(seen.size(), static_cast<size_t>(kFaultKindCount));
+}
+
+TEST(FaultPlan, ThrottleFactorRampsAndHolds)
+{
+    FaultPlan plan;
+    EXPECT_FALSE(plan.device_faulty());
+    plan.throttles = {{10.0, 30.0, 3.0, 4.0}};
+    EXPECT_TRUE(plan.device_faulty());
+    EXPECT_FALSE(plan.empty()); // a throttle alone makes a plan real
+    plan.validated();
+
+    // Outside the window: no slowdown.
+    EXPECT_DOUBLE_EQ(plan.throttle_factor(9.9), 1.0);
+    EXPECT_DOUBLE_EQ(plan.throttle_factor(30.0), 1.0);
+    // The ramp climbs linearly from 1 at from_s to the peak at
+    // from_s + ramp_s, then holds.
+    EXPECT_DOUBLE_EQ(plan.throttle_factor(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(plan.throttle_factor(12.0), 2.0);
+    EXPECT_DOUBLE_EQ(plan.throttle_factor(14.0), 3.0);
+    EXPECT_DOUBLE_EQ(plan.throttle_factor(25.0), 3.0);
+    // A zero ramp is a step to the peak.
+    plan.throttles = {{10.0, 30.0, 2.5, 0.0}};
+    EXPECT_DOUBLE_EQ(plan.throttle_factor(10.0), 2.5);
+}
+
+TEST(FaultPlan, StormJitterFracCoversItsWindows)
+{
+    FaultPlan plan;
+    plan.jitter_storms = {{5.0, 15.0, 0.2}, {10.0, 20.0, 0.4}};
+    EXPECT_TRUE(plan.device_faulty());
+    plan.validated();
+    EXPECT_DOUBLE_EQ(plan.storm_jitter_frac(4.9), 0.0);
+    EXPECT_DOUBLE_EQ(plan.storm_jitter_frac(5.0), 0.2);
+    // Overlap: the larger frac wins.
+    EXPECT_DOUBLE_EQ(plan.storm_jitter_frac(12.0), 0.4);
+    EXPECT_DOUBLE_EQ(plan.storm_jitter_frac(19.9), 0.4);
+    EXPECT_DOUBLE_EQ(plan.storm_jitter_frac(20.0), 0.0);
+}
+
+TEST(FaultInjector, DeviceStreamIsIsolatedFromOtherFaults)
+{
+    // Arming device faults must not perturb the payload or storage
+    // replay sequences: device draws come from their own seeded
+    // stream (seed ^ 0xDE71CE), and a device-calm instant consumes
+    // no draw at all.
+    FaultPlan base;
+    base.payload_loss_prob = 0.3;
+    base.torn_write_prob = 0.2;
+    base.seed = 99;
+    FaultPlan device = base;
+    device.transient_stall_prob = 0.5;
+    device.jitter_storms = {{0.0, 50.0, 0.3}};
+    device.throttles = {{0.0, 100.0, 2.0, 5.0}};
+
+    FaultInjector control(base);
+    FaultInjector armed(device);
+    for (int i = 0; i < 200; ++i) {
+        const double t = static_cast<double>(i);
+        // Interleave device queries on the armed injector only.
+        armed.device_slowdown(t);
+        armed.storm_jitter(t);
+        armed.transient_stall();
+        EXPECT_EQ(armed.drop_payload(), control.drop_payload());
+        EXPECT_EQ(armed.torn_write(), control.torn_write());
+    }
+    // The device activity was real (logged)...
+    EXPECT_GT(armed.log().throttled_batches, 0);
+    EXPECT_GT(armed.log().storm_batches, 0);
+    EXPECT_GT(armed.log().transient_stalls, 0);
+    // ...and a device-fault-free injector never touches the stream.
+    EXPECT_EQ(control.log().throttled_batches, 0);
+    EXPECT_EQ(control.log().storm_batches, 0);
+    EXPECT_EQ(control.log().transient_stalls, 0);
 }
 
 TEST(UplinkQueue, OutageDelaysButNeverLoses)

@@ -526,5 +526,262 @@ TEST(Runtime, PlannerBeatsStaticBaselines)
     EXPECT_LE(online, miss_rate(PlannerMode::kStatic, 16));
 }
 
+// ---- planner hardening + overrides --------------------------------
+
+TEST(Planner, EmptyQueueYieldsTheExplicitEmptyDecision)
+{
+    const BatchPlanner planner(PlannerConfig{});
+    const GpuModel gpu(tx1_spec());
+    const NetworkDesc net = alexnet_desc();
+    const BatchDecision d = planner.plan(gpu, net, 0.0, {}, 0.0);
+    EXPECT_EQ(d.batch, 0);
+    EXPECT_DOUBLE_EQ(d.predicted_s, 0.0);
+    EXPECT_TRUE(d.deadline_feasible);
+}
+
+TEST(Planner, OverridesInflateSafetyAndForceDrain)
+{
+    PlannerConfig cfg;
+    cfg.max_batch = 8;
+    const BatchPlanner planner(cfg);
+    const GpuModel gpu(tx1_spec());
+    const NetworkDesc net = alexnet_desc();
+
+    // Front slack of 2x the batch-8 prediction: the full batch fits
+    // at safety 1x, but a 3x-inflated margin must back off to a
+    // smaller (still feasible) prefix.
+    const double t1 =
+        cfg.safety * gpu.predicted_batch_latency(net, 1);
+    const double t8 =
+        cfg.safety * gpu.predicted_batch_latency(net, 8);
+    ASSERT_LT(3.0 * t1, 2.0 * t8); // batch 1 survives the inflation
+    std::vector<double> deadlines(8, 2.0 * t8);
+    EXPECT_EQ(planner.plan(gpu, net, 0.0, deadlines, 0.0).batch, 8);
+
+    PlanOverrides hedged;
+    hedged.safety_mult = 3.0;
+    const BatchDecision careful =
+        planner.plan(gpu, net, 0.0, deadlines, 0.0, hedged);
+    EXPECT_TRUE(careful.deadline_feasible);
+    EXPECT_LT(careful.batch, 8);
+
+    // Forced drain ignores a perfectly feasible front deadline.
+    PlanOverrides drain;
+    drain.force_drain = true;
+    const std::vector<double> relaxed(8, 100.0);
+    const BatchDecision forced =
+        planner.plan(gpu, net, 0.0, relaxed, 0.0, drain);
+    EXPECT_FALSE(forced.deadline_feasible);
+    EXPECT_EQ(forced.batch, 8); // Eq 5 throughput grows with batch
+}
+
+// ---- per-class admission accounting + degraded shedding ------------
+
+TEST(AdmissionQueue, SplitsStatsByClass)
+{
+    AdmissionQueue q(2, 2);
+    Request r0 = make_request(0, 0.0, 0.5);
+    Request r1 = make_request(1, 0.0, 0.2);
+    r1.cls = 1;
+    Request r2 = make_request(2, 0.0, 0.9);
+    r2.cls = 1;
+    EXPECT_TRUE(q.admit(r0));
+    EXPECT_TRUE(q.admit(r1));
+    EXPECT_FALSE(q.admit(r2)); // capacity 2: class-1 drop
+
+    EXPECT_EQ(q.class_stats(0).arrived, 1);
+    EXPECT_EQ(q.class_stats(0).admitted, 1);
+    EXPECT_EQ(q.class_stats(1).arrived, 2);
+    EXPECT_EQ(q.class_stats(1).admitted, 1);
+    EXPECT_EQ(q.class_stats(1).dropped_capacity, 1);
+
+    // Formation-time sheds land on the expiring request's class.
+    const auto shed = q.shed_expired(0.3);
+    ASSERT_EQ(shed.size(), 1u);
+    EXPECT_EQ(shed[0].cls, 1);
+    EXPECT_EQ(q.class_stats(1).shed_expired, 1);
+    EXPECT_EQ(q.class_stats(0).shed_expired, 0);
+    // Aggregate stays the sum of the per-class rows.
+    EXPECT_EQ(q.stats().arrived, 3);
+    EXPECT_EQ(q.stats().dropped_capacity, 1);
+    EXPECT_EQ(q.stats().shed_expired, 1);
+}
+
+TEST(AdmissionQueue, DegradedSheddingRefusesMaskedClasses)
+{
+    AdmissionQueue q(8, 2);
+    q.set_degraded_shedding({false, true});
+    EXPECT_TRUE(q.sheds_class(1));
+    EXPECT_FALSE(q.sheds_class(0));
+
+    Request keep = make_request(0, 0.0, 0.5);
+    Request shed = make_request(1, 0.0, 0.5);
+    shed.cls = 1;
+    EXPECT_TRUE(q.admit(keep));
+    EXPECT_FALSE(q.admit(shed));
+    EXPECT_EQ(q.depth(), 1u);
+    EXPECT_EQ(q.class_stats(1).shed_degraded, 1);
+    EXPECT_EQ(q.class_stats(1).dropped_capacity, 0);
+    EXPECT_EQ(q.stats().shed_degraded, 1);
+
+    // Clearing the mask restores admission (the ladder's reversal).
+    q.set_degraded_shedding({});
+    EXPECT_TRUE(q.admit(shed));
+    EXPECT_EQ(q.class_stats(1).admitted, 1);
+}
+
+// ---- gray-failure detector -----------------------------------------
+
+TEST(Detector, WalksTheLadderAndRecovers)
+{
+    DetectorConfig cfg;
+    cfg.alpha = 0.5;
+    cfg.escalate_after = 3;
+    cfg.probation_batches = 2;
+    GrayFailureDetector det(cfg);
+    EXPECT_EQ(det.state(), DeviceHealth::kHealthy);
+    EXPECT_EQ(det.rung(), 0);
+
+    // Small residuals: healthy stays healthy.
+    for (int i = 0; i < 10; ++i) {
+        const auto v = det.observe(0.03);
+        EXPECT_FALSE(v.changed);
+        EXPECT_EQ(v.state, DeviceHealth::kHealthy);
+    }
+
+    // A sustained 60% divergence climbs suspect -> degraded and then
+    // escalates one rung per 3-batch high streak up to the top.
+    auto v = det.observe(0.6); // ewma 0.315 > suspect_enter
+    EXPECT_TRUE(v.changed);
+    EXPECT_EQ(v.state, DeviceHealth::kSuspect);
+    EXPECT_EQ(v.rung, 1);
+    v = det.observe(0.6); // ewma > degraded_enter
+    EXPECT_EQ(v.state, DeviceHealth::kDegraded);
+    EXPECT_EQ(v.rung, 2);
+    for (int i = 0; i < 3; ++i) v = det.observe(0.6);
+    EXPECT_EQ(v.rung, 3);
+    for (int i = 0; i < 3; ++i) v = det.observe(0.6);
+    EXPECT_EQ(v.rung, 4);
+    for (int i = 0; i < 3; ++i) v = det.observe(0.6);
+    EXPECT_EQ(v.rung, 4); // clamped at max_rung
+
+    // Residuals recover: degraded -> probation, and after the clean
+    // run the detector demands a recalibration before healthy.
+    while (det.state() == DeviceHealth::kDegraded)
+        v = det.observe(0.01);
+    EXPECT_EQ(v.state, DeviceHealth::kProbation);
+    EXPECT_EQ(v.rung, 1);
+    v = det.observe(0.01);
+    EXPECT_FALSE(v.calibrate);
+    v = det.observe(0.01);
+    EXPECT_TRUE(v.calibrate);
+    EXPECT_EQ(v.state, DeviceHealth::kHealthy);
+    EXPECT_EQ(v.rung, 0);
+}
+
+TEST(Detector, OneDirtyBatchVoidsProbation)
+{
+    DetectorConfig cfg;
+    cfg.alpha = 0.5;
+    cfg.probation_batches = 4;
+    GrayFailureDetector det(cfg);
+    while (det.state() != DeviceHealth::kDegraded) det.observe(0.8);
+    while (det.state() != DeviceHealth::kProbation)
+        det.observe(0.01);
+    det.observe(0.01);
+    // One residual above suspect_enter sends it straight back.
+    const auto v = det.observe(0.5);
+    EXPECT_EQ(v.state, DeviceHealth::kDegraded);
+    EXPECT_EQ(v.rung, 2);
+}
+
+// ---- device chaos end to end ---------------------------------------
+
+TEST(Chaos, FaultFreeRunNeverTripsTheDetector)
+{
+    // A guarded fault-free run must behave byte-identically to the
+    // unguarded runtime: zero transitions, zero rungs, identical
+    // transcript (the PR 7 baseline).
+    auto once = [](bool guarded) {
+        ServingConfig cfg = make_scenario("diurnal_corun", 8.0, 13);
+        cfg.transcript = TranscriptLevel::kFull;
+        cfg.degrade.enabled = guarded;
+        ServingRuntime runtime(cfg);
+        return runtime.run();
+    };
+    const ServingReport guarded = once(true);
+    const ServingReport unguarded = once(false);
+    EXPECT_EQ(guarded.degradation.transitions, 0);
+    EXPECT_EQ(guarded.degradation.max_rung, 0);
+    EXPECT_EQ(guarded.degradation.shed_degraded, 0);
+    EXPECT_EQ(guarded.degradation.final_state, "healthy");
+    EXPECT_EQ(guarded.transcript, unguarded.transcript);
+    EXPECT_DOUBLE_EQ(guarded.total.miss_rate,
+                     unguarded.total.miss_rate);
+}
+
+TEST(Chaos, RunsAreByteDeterministic)
+{
+    auto once = []() {
+        ServingConfig cfg = make_device_chaos(12.0, 17);
+        cfg.transcript = TranscriptLevel::kFull;
+        ServingRuntime runtime(cfg);
+        return runtime.run();
+    };
+    const ServingReport a = once();
+    const ServingReport b = once();
+    EXPECT_EQ(a.transcript, b.transcript);
+    EXPECT_EQ(a.degradation.transitions, b.degradation.transitions);
+    EXPECT_EQ(a.degradation.max_rung, b.degradation.max_rung);
+    EXPECT_EQ(a.degradation.shed_degraded,
+              b.degradation.shed_degraded);
+    EXPECT_DOUBLE_EQ(a.degradation.final_ewma,
+                     b.degradation.final_ewma);
+    // The device faults actually fired.
+    EXPECT_GT(a.degradation.throttled_batches, 0);
+    EXPECT_GT(a.degradation.storm_batches, 0);
+}
+
+TEST(Chaos, LadderEngagesShedsAndRecovers)
+{
+    ServingConfig cfg = make_device_chaos(30.0, 11);
+    ServingRuntime runtime(cfg);
+    const ServingReport rep = runtime.run();
+
+    // The ladder walked: shedding engaged (rung 2+), co-run windows
+    // were skipped, sick-era calibration was suspended, and at least
+    // one probation ended in a recalibrate-then-recover.
+    EXPECT_GE(rep.degradation.max_rung, 2);
+    EXPECT_GT(rep.degradation.shed_degraded, 0);
+    EXPECT_GT(rep.degradation.diag_skipped, 0);
+    EXPECT_GT(rep.degradation.calib_skipped, 0);
+    EXPECT_GE(rep.degradation.probations, 1);
+    EXPECT_GE(rep.degradation.recoveries, 1);
+    // Conservation: every arrival is served, dropped or shed.
+    EXPECT_EQ(rep.total.arrived,
+              rep.total.served + rep.total.dropped_capacity +
+                  rep.total.shed_expired +
+                  rep.total.shed_degraded);
+    // Only best-effort classes were shed at admission.
+    EXPECT_EQ(rep.classes[0].shed_degraded, 0); // interactive
+    EXPECT_GT(rep.classes[1].shed_degraded +
+                  rep.classes[2].shed_degraded,
+              0);
+}
+
+TEST(Chaos, LadderProtectsTheGuaranteedClass)
+{
+    // The acceptance bar: under the throttle + storm + stall mix the
+    // degradation ladder keeps the guaranteed class's deadline-miss
+    // rate strictly below the unguarded online planner's.
+    auto miss = [](bool guarded) {
+        ServingConfig cfg = make_device_chaos(30.0, 11);
+        cfg.degrade.enabled = guarded;
+        ServingRuntime runtime(cfg);
+        return runtime.run().classes[0].miss_rate; // interactive
+    };
+    EXPECT_LT(miss(true), miss(false));
+}
+
 } // namespace
 } // namespace insitu::serving
