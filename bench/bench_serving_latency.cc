@@ -18,6 +18,7 @@
 #include <cstdio>
 
 #include "exp_common.h"
+#include "obs/export.h"
 #include "serving/calibrate.h"
 #include "serving/scenarios.h"
 
@@ -27,8 +28,20 @@ using namespace insitu::serving;
 
 namespace {
 
-/** Run one mix under one policy. */
-ServingReport
+/** One policy run plus histogram-derived latency percentiles. */
+struct PolicyRun {
+    ServingReport rep;
+    double p50_s = 0;
+    double p90_s = 0;
+    double p99_s = 0;
+    std::string summary; ///< "p50=... p90=... p99=..." (exporter form)
+};
+
+/** Run one mix under one policy. Latency percentiles come from the
+ * runtime's `serving.request.latency_s` quantized-sum histogram via
+ * the exporter's nearest-rank quantile — the same numbers every
+ * JSONL consumer sees, not ad-hoc sorted-vector math. */
+PolicyRun
 run_policy(const std::string& mix, PlannerMode mode, int64_t static_b,
            double duration_s, uint64_t seed)
 {
@@ -36,7 +49,20 @@ run_policy(const std::string& mix, PlannerMode mode, int64_t static_b,
     cfg.planner.mode = mode;
     cfg.planner.static_batch = static_b;
     ServingRuntime runtime(cfg);
-    return runtime.run();
+    PolicyRun out;
+    out.rep = runtime.run();
+    const obs::MetricsSnapshot snap = runtime.local_metrics().snapshot();
+    if (const obs::MetricValue* m =
+            snap.find("serving.request.latency_s")) {
+        out.p50_s =
+            obs::histogram_quantile(m->bounds, m->bucket_counts, 0.50);
+        out.p90_s =
+            obs::histogram_quantile(m->bounds, m->bucket_counts, 0.90);
+        out.p99_s =
+            obs::histogram_quantile(m->bounds, m->bucket_counts, 0.99);
+        out.summary = obs::histogram_percentile_summary(*m);
+    }
+    return out;
 }
 
 } // namespace
@@ -57,37 +83,42 @@ main()
     // ---- part 1: the policy sweep over the canonical mixes --------
     bool planner_wins_all = true;
     for (const std::string& mix : scenario_names()) {
-        const ServingReport online = run_policy(
+        const PolicyRun online = run_policy(
             mix, PlannerMode::kOnline, 0, duration_s, seed);
 
         std::printf("\nmix %s: %lld requests over %.0fs "
                     "(planner: %lld batches, %lld drain, "
                     "calib scale=%.3f)\n",
                     mix.c_str(),
-                    static_cast<long long>(online.total.arrived),
+                    static_cast<long long>(online.rep.total.arrived),
                     duration_s,
-                    static_cast<long long>(online.batches),
-                    static_cast<long long>(online.drain_batches),
-                    online.final_calibration.time_scale);
-        TablePrinter table({"policy", "miss %", "p50 (ms)", "p99 (ms)",
-                            "mean batch", "served", "lost"});
+                    static_cast<long long>(online.rep.batches),
+                    static_cast<long long>(online.rep.drain_batches),
+                    online.rep.final_calibration.time_scale);
+        std::printf("planner latency histogram: %s (seconds)\n",
+                    online.summary.c_str());
+        TablePrinter table({"policy", "miss %", "p50 (ms)", "p90 (ms)",
+                            "p99 (ms)", "mean batch", "served",
+                            "lost"});
         auto add_row = [&table](const std::string& policy,
-                                const ServingReport& r) {
+                                const PolicyRun& r) {
             table.add_row(
-                {policy, TablePrinter::num(100.0 * r.total.miss_rate, 2),
-                 TablePrinter::num(r.total.p50_latency_s * 1e3, 2),
-                 TablePrinter::num(r.total.p99_latency_s * 1e3, 2),
-                 TablePrinter::num(r.mean_batch_size, 2),
-                 std::to_string(r.total.served),
-                 std::to_string(r.total.dropped_capacity +
-                                r.total.shed_expired)});
+                {policy,
+                 TablePrinter::num(100.0 * r.rep.total.miss_rate, 2),
+                 TablePrinter::num(r.p50_s * 1e3, 2),
+                 TablePrinter::num(r.p90_s * 1e3, 2),
+                 TablePrinter::num(r.p99_s * 1e3, 2),
+                 TablePrinter::num(r.rep.mean_batch_size, 2),
+                 std::to_string(r.rep.total.served),
+                 std::to_string(r.rep.total.dropped_capacity +
+                                r.rep.total.shed_expired)});
         };
         add_row("planner", online);
         for (int64_t b : statics) {
-            const ServingReport st = run_policy(
+            const PolicyRun st = run_policy(
                 mix, PlannerMode::kStatic, b, duration_s, seed);
             add_row("static-" + std::to_string(b), st);
-            if (online.total.miss_rate > st.total.miss_rate)
+            if (online.rep.total.miss_rate > st.rep.total.miss_rate)
                 planner_wins_all = false;
         }
         std::printf("%s", table.to_string().c_str());

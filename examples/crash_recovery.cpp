@@ -299,6 +299,26 @@ drill_fleet(const std::string& dir)
         // write; everything below starts from the durable dir alone.
     }
 
+    // The black box survived the kill: decode the flight dump the
+    // dead fleet persisted with its last stage and print its final
+    // words — the post-mortem a real deployment would start from.
+    {
+        storage::SnapshotStore flight(
+            storage::open_storage_file(dir + "/flight.dump"));
+        const auto blob = flight.read();
+        require(blob.has_value(), "flight dump missing after the kill");
+        std::vector<obs::FlightEvent> events;
+        int64_t total = 0;
+        require(obs::FlightRecorder::decode(*blob, events, &total),
+                "flight dump failed to decode");
+        require(!events.empty(), "flight dump was empty");
+        std::printf("[fleet] flight dump: %zu events (%lld lifetime), "
+                    "last: %s %s\n",
+                    events.size(), static_cast<long long>(total),
+                    events.back().what.c_str(),
+                    events.back().detail.c_str());
+    }
+
     FleetSim fleet(durable_config(dir));
     const bool recovered = fleet.recover_from_storage();
     require(recovered, "recover_from_storage found nothing");
@@ -321,7 +341,14 @@ main()
 {
     std::printf("== crash_recovery: kill-anywhere durability "
                 "harness ==\n");
-    const std::string dir = "crash_recovery_state";
+    // INSITU_STATE_DIR=<dir>: run against (and keep) an external
+    // state directory, so scripts/check_recovery.sh can byte-diff
+    // the surviving durable files — the flight dump in particular —
+    // across thread widths after the process exits.
+    const char* keep = std::getenv("INSITU_STATE_DIR");
+    const bool keep_state = keep != nullptr && *keep != '\0';
+    const std::string dir =
+        keep_state ? std::string(keep) : "crash_recovery_state";
     fs::remove_all(dir);
     fs::create_directories(dir);
 
@@ -330,7 +357,7 @@ main()
     sweep_registry(dir);
     drill_fleet(dir + "/fleet");
 
-    fs::remove_all(dir);
+    if (!keep_state) fs::remove_all(dir);
     std::printf("crash_recovery: OK\n");
     return 0;
 }

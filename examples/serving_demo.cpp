@@ -28,6 +28,7 @@
  * Run:   ./build/examples/serving_demo [--acceptance|--chaos]
  */
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -35,6 +36,8 @@
 #include "cloud/update_service.h"
 #include "iot/node.h"
 #include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "serving/scenarios.h"
 
 using namespace insitu;
@@ -228,8 +231,16 @@ run_chaos()
     // unguarded on the identical scenario seed.
     ServingConfig guarded = make_device_chaos(duration_s, seed);
     guarded.transcript = TranscriptLevel::kSummary;
+    // INSITU_FLIGHT_DUMP=<path>: arm the guarded run's flight
+    // recorder (dumped when the ladder reaches rung >= 3 or forces a
+    // drain); scripts/check_slo.sh byte-diffs the dump across thread
+    // widths.
+    if (const char* fp = std::getenv("INSITU_FLIGHT_DUMP");
+        fp != nullptr && *fp != '\0')
+        guarded.flight_dump_path = fp;
     ServingConfig unguarded = guarded;
     unguarded.degrade.enabled = false;
+    unguarded.flight_dump_path.clear(); // the guarded run owns it
     const ServingReport chaos_guarded = run_cfg(guarded);
     const ServingReport chaos_unguarded = run_cfg(unguarded);
 
@@ -258,6 +269,22 @@ run_chaos()
                 u.p99_latency_s * 1e3,
                 protects ? "strictly better" : "NOT better");
 
+    std::printf("slo: alerts=%lld flight_dumps=%lld (guarded chaos)\n",
+                static_cast<long long>(chaos_guarded.slo_alerts),
+                static_cast<long long>(chaos_guarded.flight_dumps));
+
+    // INSITU_TRACE_CHROME=<path>: export the whole mode's trace
+    // (spans, instants, flow chains) as Chrome trace_event JSON —
+    // deterministic, so check_slo.sh byte-diffs it across widths.
+    if (const char* tp = std::getenv("INSITU_TRACE_CHROME");
+        tp != nullptr && *tp != '\0') {
+        if (!obs::export_chrome_trace_file(tp)) {
+            std::printf("trace export FAILED: %s\n", tp);
+            return 1;
+        }
+        std::printf("trace exported\n");
+    }
+
     const bool pass = fault_free_ok && protects && engaged;
     std::printf("chaos acceptance: %s\n", pass ? "PASS" : "FAIL");
     return pass ? 0 : 1;
@@ -271,6 +298,9 @@ main(int argc, char** argv)
     // Simulated telemetry time: spans and instants carry the event
     // loop's timeline, and output is byte-stable across hosts.
     obs::TelemetryClock::global().enable_simulated(0.0);
+    if (const char* tp = std::getenv("INSITU_TRACE_CHROME");
+        tp != nullptr && *tp != '\0')
+        obs::TraceRecorder::global().set_enabled(true);
     if (argc > 1 && std::strcmp(argv[1], "--acceptance") == 0)
         return run_acceptance();
     if (argc > 1 && std::strcmp(argv[1], "--chaos") == 0)

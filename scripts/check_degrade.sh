@@ -26,8 +26,12 @@ tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
 # -- 1. byte-identical chaos transcript across thread counts ---------
+# The guarded run's flight recorder is armed too: the ladder's deep
+# rungs persist the black box, and the dump must byte-diff clean.
 for threads in 1 4; do
-    if ! INSITU_THREADS=$threads "$binary" --chaos \
+    if ! INSITU_THREADS=$threads \
+            INSITU_FLIGHT_DUMP="$tmpdir/flight$threads.dump" \
+            "$binary" --chaos \
             > "$tmpdir/threads$threads.out" 2>&1; then
         printf 'check_degrade: FAILED (exit code at threads=%s)\n' \
             "$threads" >&2
@@ -38,6 +42,12 @@ done
 
 if ! diff -u "$tmpdir/threads1.out" "$tmpdir/threads4.out" >&2; then
     printf 'check_degrade: FAILED (chaos transcript differs across thread counts)\n' >&2
+    exit 1
+fi
+
+if [ ! -s "$tmpdir/flight1.dump" ] || \
+        ! cmp "$tmpdir/flight1.dump" "$tmpdir/flight4.dump"; then
+    printf 'check_degrade: FAILED (flight dump missing or differs across thread counts)\n' >&2
     exit 1
 fi
 

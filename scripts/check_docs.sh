@@ -83,7 +83,11 @@ else
             'faults.injected' 'cloud.' 'parallel.' 'bench.' \
             'storage.' 'serving.' 'serving.health' 'serving.degrade' \
             'serving.queue.' 'INSITU_TELEMETRY_JSONL' \
-            'wall_s'; do
+            'wall_s' 'trace.' 'slo.' 'flight.' \
+            'Trace propagation' 'SLO objectives and burn rates' \
+            'Flight recorder' 'mint_trace_context' 'burn rate' \
+            'INSITU_TRACE_CHROME' 'INSITU_FLIGHT_DUMP' \
+            'check_slo'; do
         if ! grep -qF "$needle" "$obs"; then
             note "docs/observability.md does not mention $needle"
             fail=1

@@ -22,10 +22,13 @@ trap 'rm -rf "$tmpdir"' EXIT
 
 # The example writes its durable state under its working directory;
 # give each run a private one so the two runs cannot see each other.
+# INSITU_STATE_DIR keeps the durable files around for the post-exit
+# flight-dump diff below.
 for threads in 1 4; do
     mkdir -p "$tmpdir/run$threads"
     if ! (cd "$tmpdir/run$threads" &&
-            INSITU_THREADS=$threads "$binary" \
+            INSITU_THREADS=$threads \
+            INSITU_STATE_DIR="$tmpdir/state$threads" "$binary" \
                 > "$tmpdir/threads$threads.out" 2>&1); then
         printf 'check_recovery: FAILED (exit code at threads=%s)\n' \
             "$threads" >&2
@@ -39,11 +42,27 @@ if ! diff -u "$tmpdir/threads1.out" "$tmpdir/threads4.out" >&2; then
     exit 1
 fi
 
+# The fleet's black box must survive the kill byte-identically: the
+# dump on disk is the flight record of the last completed stage.
+for threads in 1 4; do
+    if [ ! -s "$tmpdir/state$threads/fleet/flight.dump" ]; then
+        printf 'check_recovery: FAILED (no flight dump at threads=%s)\n' \
+            "$threads" >&2
+        exit 1
+    fi
+done
+if ! cmp "$tmpdir/state1/fleet/flight.dump" \
+         "$tmpdir/state4/fleet/flight.dump"; then
+    printf 'check_recovery: FAILED (flight dump differs across thread counts)\n' >&2
+    exit 1
+fi
+
 for needle in \
         'truncation sweep' \
         'bit-rot sweep' \
         'commit-protocol sweep' \
         'kill-anywhere sweep' \
+        'flight dump: ' \
         'recovered: stage_index=2' \
         'crash_recovery: OK'; do
     if ! grep -q "$needle" "$tmpdir/threads1.out"; then

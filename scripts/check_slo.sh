@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Observability gate for the tracing/SLO/flight-recorder stack, run as
+# a ctest (`check_slo`). Drives the serving_demo --chaos scenario with
+# the trace exporter and flight recorder armed and checks:
+#
+# 1. Determinism: stdout, the Chrome trace (spans + flow chains) and
+#    the flight dump are byte-identical at INSITU_THREADS=1 and 4 —
+#    trace ids are minted from (seed, sequence), never wall clock.
+# 2. Causality in the transcript: every degradation-ladder transition
+#    to rung >= 2 is preceded by an SLO burn-rate alert line — the
+#    alert fires from the same completions the detector sees, on the
+#    serial event loop, before the ladder reacts.
+# 3. The trace actually contains flow chains (Chrome "s"/"t"/"f"
+#    events) and SLO alert instants, and the flight dump decodes to
+#    its tab-separated v1 format.
+#
+# Usage: check_slo.sh <path-to-serving_demo-binary>
+set -u
+
+if [ $# -ne 1 ] || [ ! -x "$1" ]; then
+    printf 'usage: %s <serving_demo binary>\n' "$0" >&2
+    exit 2
+fi
+binary="$1"
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+# -- 1. determinism across thread widths -----------------------------
+for threads in 1 4; do
+    if ! INSITU_THREADS=$threads \
+            INSITU_FLIGHT_DUMP="$tmpdir/flight$threads.dump" \
+            INSITU_TRACE_CHROME="$tmpdir/trace$threads.json" \
+            "$binary" --chaos \
+            > "$tmpdir/threads$threads.out" 2>&1; then
+        printf 'check_slo: FAILED (exit code at threads=%s)\n' \
+            "$threads" >&2
+        cat "$tmpdir/threads$threads.out" >&2
+        exit 1
+    fi
+done
+
+if ! diff -u "$tmpdir/threads1.out" "$tmpdir/threads4.out" >&2; then
+    printf 'check_slo: FAILED (chaos transcript differs across thread counts)\n' >&2
+    exit 1
+fi
+if ! cmp "$tmpdir/trace1.json" "$tmpdir/trace4.json"; then
+    printf 'check_slo: FAILED (Chrome trace differs across thread counts)\n' >&2
+    exit 1
+fi
+if ! cmp "$tmpdir/flight1.dump" "$tmpdir/flight4.dump"; then
+    printf 'check_slo: FAILED (flight dump differs across thread counts)\n' >&2
+    exit 1
+fi
+
+# -- 2. alert -> rung causality in the transcript ---------------------
+# Health-transition lines look like "[t=...] health degraded rung=2
+# ..."; an SLO alert line must appear somewhere above the first
+# rung >= 2 transition (and alerts keep leading deeper rungs).
+if ! awk '
+    /slo alert/ { seen = 1 }
+    /^\[t=[0-9.]+\] health .* rung=[2-9]/ {
+        if (!seen) { print "unalerted transition: " $0; exit 1 }
+    }
+' "$tmpdir/threads1.out"; then
+    printf 'check_slo: FAILED (rung >= 2 transition without a preceding SLO alert)\n' >&2
+    exit 1
+fi
+if ! grep -q 'slo alert' "$tmpdir/threads1.out"; then
+    printf 'check_slo: FAILED (no SLO alert fired under chaos)\n' >&2
+    exit 1
+fi
+
+# -- 3. the artifacts have the right shape ----------------------------
+for needle in \
+        '"cat":"flow"' \
+        '"ph":"s"' \
+        '"ph":"t"' \
+        '"ph":"f"' \
+        '"name":"slo.alert"' \
+        '"name":"serving.request.arrive"'; do
+    if ! grep -q "$needle" "$tmpdir/trace1.json"; then
+        printf 'check_slo: FAILED (missing %s in the Chrome trace)\n' \
+            "$needle" >&2
+        exit 1
+    fi
+done
+# The dump is a CRC-framed SnapshotStore file whose payload starts
+# with the recorder's "flight<tab>v1" header.
+if ! grep -aq 'flight	v1' "$tmpdir/flight1.dump"; then
+    printf 'check_slo: FAILED (flight dump header malformed)\n' >&2
+    exit 1
+fi
+if ! grep -q 'flight recorder dumped' "$tmpdir/threads1.out"; then
+    printf 'check_slo: FAILED (no flight dump recorded in transcript)\n' >&2
+    exit 1
+fi
+
+printf 'check_slo: OK (trace + flight dump bit-identical at threads 1 and 4, alerts precede rung escalations)\n'

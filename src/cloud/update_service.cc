@@ -26,7 +26,7 @@ ModelUpdateService::ModelUpdateService(TinyConfig config,
     : config_(config), cost_(std::move(cloud_gpu)), rng_(seed),
       perms_(config.num_permutations, rng_),
       jigsaw_(make_tiny_jigsaw(config, rng_)),
-      inference_(make_tiny_inference(config, rng_))
+      inference_(make_tiny_inference(config, rng_)), trace_seed_(seed)
 {}
 
 double
@@ -112,6 +112,13 @@ ModelUpdateService::validated_update(const Dataset& data,
     static auto& validations = cloud_counter("cloud.validations");
     validations.add(1);
     ValidatedUpdateReport report;
+    report.span_id = span.id();
+    // The cloud update is a trace entry point of its own: mint a
+    // lineage id from (construction seed, update ordinal) — pure
+    // function of the scenario, no RNG draw — so a standalone update
+    // still gets a causal identity linking it to its rollback.
+    const obs::TraceContext update_ctx = obs::mint_trace_context(
+        trace_seed_ ^ 0xC10DULL, ++update_seq_);
     report.holdout_before = evaluate(holdout);
     report.baseline_version =
         registry_.commit(inference_, "pre-update",
@@ -129,9 +136,11 @@ ModelUpdateService::validated_update(const Dataset& data,
         report.holdout_after = report.holdout_before;
         static auto& rollbacks = cloud_counter("cloud.rollbacks");
         rollbacks.add(1);
-        obs::TraceRecorder::global().instant(
+        const int64_t rb = obs::TraceRecorder::global().instant(
             "cloud.rollback",
             {{"version", std::to_string(report.baseline_version)}});
+        obs::TraceRecorder::global().flow(
+            {update_ctx.trace_id, report.span_id}, rb);
     } else {
         report.holdout_after = after;
         report.accepted_version = registry_.commit(

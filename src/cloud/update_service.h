@@ -54,6 +54,11 @@ struct ValidatedUpdateReport {
     int64_t accepted_version = 0; ///< registry id of the accepted
                                   ///< update (0 when rolled back);
                                   ///< what a canary rollout evaluates
+    /// Span id of the `cloud.validated_update` trace span (-1 when
+    /// tracing is off). Upstream producers (fleet uplinks) link their
+    /// capture traces into it with flow edges, so one trace shows
+    /// captured -> delivered -> retrained -> redeployed.
+    int64_t span_id = -1;
 };
 
 /** Cloud training/update service over the TinyNet family. */
@@ -155,6 +160,8 @@ class ModelUpdateService {
     ModelRegistry registry_;
     storage::Wal* wal_ = nullptr; ///< optional durability log
     int64_t images_received_ = 0;
+    uint64_t trace_seed_ = 0;  ///< construction seed, kept for minting
+    uint64_t update_seq_ = 0;  ///< validated updates run (trace seq)
 };
 
 } // namespace insitu

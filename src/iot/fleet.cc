@@ -1,5 +1,6 @@
 #include "iot/fleet.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <numeric>
 
@@ -37,6 +38,20 @@ FleetSim::FleetSim(FleetConfig config)
     }
     pending_uploads_.resize(n);
     checkpoints_.resize(n);
+    upload_trace_.resize(n);
+    if (config_.delivery_objective > 0) {
+        // Burn-rate windows in stage time: the fast window sees the
+        // last couple of stages, the slow window a run's worth.
+        for (size_t i = 0; i < n; ++i) {
+            obs::SloObjective obj;
+            obj.name = "fleet.link" + std::to_string(i) + ".delivery";
+            obj.objective = config_.delivery_objective;
+            obj.fast_window_s = 2.0 * config_.stage_window_s;
+            obj.slow_window_s = 6.0 * config_.stage_window_s;
+            obj.min_events = 4;
+            slo_links_.push_back(slo_engine_.declare(obj));
+        }
+    }
     if (config_.supervisor) {
         supervisor_.emplace(config_.supervisor->validated(), n);
         // The breakers_ vector never resizes after construction, so
@@ -68,6 +83,10 @@ FleetSim::FleetSim(FleetConfig config)
         meta_store_ = std::make_unique<storage::SnapshotStore>(
             storage::open_storage_file(dir + "/fleet.meta",
                                        &injector_));
+        // No injector: the black box must not consume storage fault
+        // draws (see the member comment in fleet.h).
+        flight_store_ = std::make_unique<storage::SnapshotStore>(
+            storage::open_storage_file(dir + "/flight.dump"));
     }
 }
 
@@ -117,6 +136,13 @@ FleetSim::persist_durable_state()
     storage::put_i64(meta, stage_index_);
     storage::put_f64(meta, clock_s_);
     meta_store_->write(meta);
+    // Persist the black box last: after a kill-anywhere run the dump
+    // on disk is the flight record of the last completed stage.
+    if (flight_store_ && flight_store_->write(black_box_.encode())) {
+        static auto& dumps = obs::MetricsRegistry::global().counter(
+            "flight.dumps");
+        dumps.add(1);
+    }
 }
 
 InsituNode&
@@ -227,6 +253,8 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
     static auto& stages =
         obs::MetricsRegistry::global().counter("iot.fleet.stages");
     stages.add(1);
+    black_box_.record(window_from, "fleet.stage",
+                      "#" + std::to_string(stage_index_));
 
     // Phase 1: nodes acquire, flag and hand flagged images to their
     // radios. Crashed nodes reboot instead: the uplink backlog and
@@ -256,6 +284,10 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
                              node_condition(i, base_severity), rng_);
     }
     report.nodes.assign(nnodes, FleetNodeReport{});
+    // Flagged-image counts per node, filled inside the parallel
+    // region (node-local slots) and consumed by the serial capture
+    // pass below — instants cannot be recorded inside parallel_for.
+    std::vector<int64_t> flagged_count(nnodes, 0);
     parallel_for(0, static_cast<int64_t>(nnodes), 1,
                  [&](int64_t n0, int64_t n1) {
     for (int64_t ni = n0; ni < n1; ++ni) {
@@ -305,6 +337,7 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
             }
             const int64_t flagged =
                 static_cast<int64_t>(idx.size());
+            flagged_count[i] = flagged;
             nr.dropped = uplinks_[i].enqueue(flagged, window_from);
             if (nr.dropped > 0) {
                 // Keep the image buffer row-aligned with the queue:
@@ -318,6 +351,35 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
     });
     for (const auto& nr : report.nodes)
         if (nr.crashed) ++report.crashed_nodes;
+
+    // Serial capture pass: the trace entry point of the fleet loop.
+    // Each node that flagged images this stage mints a lineage id —
+    // a pure function of (seed, stage, node), no RNG draw — and
+    // anchors it on a `fleet.capture` instant; the drain/update/
+    // deploy hops below extend it with flow edges. A crash destroys
+    // the link backlog, and the lineage with it.
+    for (size_t i = 0; i < nnodes; ++i) {
+        if (crashed[i]) {
+            black_box_.record(
+                window_from, "fleet.node.crash",
+                "node " + std::to_string(i) + " lost " +
+                    std::to_string(report.nodes[i].lost_in_crash) +
+                    " in-flight images");
+            upload_trace_[i] = obs::TraceContext{};
+            continue;
+        }
+        if (flagged_count[i] <= 0) continue;
+        obs::TraceContext ctx = obs::mint_trace_context(
+            config_.seed ^ 0xCAB00D1EULL,
+            static_cast<uint64_t>(stage_index_) * nnodes + i);
+        ctx.parent_span = obs::TraceRecorder::global().instant(
+            "fleet.capture",
+            {{"node", std::to_string(i)},
+             {"images", std::to_string(flagged_count[i])}});
+        // The link carries one lineage at a time; a fresh capture
+        // takes it over (stragglers ride along).
+        upload_trace_[i] = ctx;
+    }
 
     // Phase 1.5 (supervised fleets only): feed the stage's
     // observations to the supervisor — serial and node-ascending, so
@@ -340,15 +402,27 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
             supervisor_->end_stage(stage_index_);
         report.newly_quarantined = decisions.newly_quarantined;
         report.readmitted = decisions.readmitted;
+        for (int q : decisions.newly_quarantined)
+            black_box_.record(window_from, "fleet.quarantine",
+                              "node " + std::to_string(q));
+        for (int q : decisions.readmitted)
+            black_box_.record(window_from, "fleet.readmit",
+                              "node " + std::to_string(q));
         if (decisions.canary_judged) {
             if (decisions.canary_promoted) {
                 report.canary_promoted = true;
+                black_box_.record(window_from,
+                                  "fleet.canary.promoted", "");
                 // The cloud already runs the accepted version (updates
                 // were deferred while the canary was pending); ship it
                 // fleet-wide.
                 deploy_all();
             } else if (decisions.canary_rolled_back) {
                 report.canary_rolled_back = true;
+                black_box_.record(
+                    window_from, "fleet.canary.rollback",
+                    "to version " +
+                        std::to_string(decisions.rollback_version));
                 INSITU_CHECK(
                     cloud_.rollback_to(decisions.rollback_version,
                                        "canary-rollback"),
@@ -380,6 +454,34 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
             pending_uploads_[i] = dataset_slice(
                 pending_uploads_[i], delivered,
                 pending_uploads_[i].size());
+            // Extend the capture lineage onto the cloud side.
+            const int64_t hop = obs::TraceRecorder::global().instant(
+                "fleet.upload.delivered",
+                {{"node", std::to_string(i)},
+                 {"images", std::to_string(delivered)}});
+            obs::TraceRecorder::global().flow(upload_trace_[i], hop);
+            if (hop >= 0) upload_trace_[i].parent_span = hop;
+        }
+        // Per-link delivery SLO: deliveries are good events; terminal
+        // losses (backlog evictions, crash-destroyed payloads) burn
+        // the error budget. Stragglers are neither — they age.
+        if (!slo_links_.empty()) {
+            const int64_t bad = nr.dropped + nr.lost_in_crash;
+            obs::SloEvent ev = obs::SloEvent::kNone;
+            if (delivered > 0)
+                ev = slo_engine_.record(slo_links_[i], window_to, true,
+                                        delivered);
+            if (bad > 0) {
+                const obs::SloEvent ev2 = slo_engine_.record(
+                    slo_links_[i], window_to, false, bad);
+                if (ev2 != obs::SloEvent::kNone) ev = ev2;
+            }
+            if (ev == obs::SloEvent::kAlertRaised) {
+                ++report.slo_alerts;
+                black_box_.record(
+                    window_to, "slo.alert",
+                    "fleet.link" + std::to_string(i) + ".delivery");
+            }
         }
         nr.uploaded = delivered;
         nr.backlogged = uplinks_[i].backlog();
@@ -401,6 +503,9 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
     // split stays clean.
     std::vector<const Dataset*> ptrs;
     if (deferred_pool_.size() > 0) ptrs.push_back(&deferred_pool_);
+    // Lineages feeding this stage's pool: deferred contributors from
+    // held-back stages, plus whoever delivered now.
+    std::vector<size_t> contributors = deferred_contributors_;
     for (size_t i = 0; i < delivered_parts.size(); ++i) {
         if (delivered_parts[i].size() == 0) continue;
         if (supervisor_ && supervisor_->quarantined(i)) {
@@ -408,13 +513,18 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
             continue;
         }
         ptrs.push_back(&delivered_parts[i]);
+        if (std::find(contributors.begin(), contributors.end(), i) ==
+            contributors.end())
+            contributors.push_back(i);
     }
+    int64_t deployed_version = 0;
     const bool canary_pending =
         supervisor_ && supervisor_->canary_pending();
     if (!ptrs.empty() && canary_pending) {
         // All canaries sat this stage out (crashed); the verdict is
         // deferred, and so is training on this stage's pool.
         deferred_pool_ = concat_datasets(ptrs);
+        deferred_contributors_ = std::move(contributors);
     } else if (!ptrs.empty()) {
         Dataset pooled = concat_datasets(ptrs);
         deferred_pool_ = Dataset{};
@@ -447,6 +557,22 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
         report.holdout_before = vr.holdout_before;
         report.holdout_after = vr.holdout_after;
         report.holdout_trained = vr.holdout_trained;
+        deployed_version = vr.rolled_back ? vr.baseline_version
+                                          : vr.accepted_version;
+        // Link every contributing capture lineage into the update
+        // span: the trace now reads captured -> delivered -> retrained.
+        for (size_t i : contributors) {
+            obs::TraceRecorder::global().flow(upload_trace_[i],
+                                              vr.span_id);
+            if (vr.span_id >= 0)
+                upload_trace_[i].parent_span = vr.span_id;
+        }
+        deferred_contributors_.clear();
+        black_box_.record(
+            window_from, "cloud.update",
+            std::to_string(pooled.size()) + " images" +
+                (report.poisoned ? ", poisoned" : "") +
+                (vr.rolled_back ? ", rolled back" : ", accepted"));
 
         // Stage the accepted update through a canary subset instead
         // of deploying it fleet-wide. The judgment baseline is this
@@ -486,6 +612,24 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
         deploy_all();
     }
     // (canary_pending: no deployment at all — the split must hold.)
+    if (report.update_ran) {
+        // The lineage's last hop: whatever this stage's update
+        // produced is now on the fleet (or its canary subset).
+        const int64_t commit = obs::TraceRecorder::global().instant(
+            "fleet.deploy.commit",
+            {{"version", std::to_string(deployed_version)},
+             {"canary", report.canary_started ? "1" : "0"}});
+        for (size_t i : contributors) {
+            obs::TraceRecorder::global().flow(upload_trace_[i],
+                                              commit);
+            upload_trace_[i] = obs::TraceContext{};
+        }
+        black_box_.record(window_from, "fleet.deploy",
+                          "version " +
+                              std::to_string(deployed_version) +
+                              (report.canary_started ? " (canary)"
+                                                     : ""));
+    }
 
     // Phase 4: post-deployment accuracy. Crashed nodes acquired
     // nothing this stage; the mean covers the nodes that did.
@@ -517,6 +661,10 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
         }
     }
 
+    black_box_.record(window_to, "fleet.stage.end",
+                      "pooled=" + std::to_string(report.pooled_uploads) +
+                          " backlog=" +
+                          std::to_string(report.straggler_backlog));
     ++stage_index_;
     clock_s_ = window_to;
     persist_durable_state();

@@ -39,6 +39,9 @@
 #include "iot/node.h"
 #include "iot/supervisor.h"
 #include "iot/uplink.h"
+#include "obs/flight.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
 #include "storage/snapshot.h"
 #include "storage/wal.h"
 
@@ -75,6 +78,12 @@ struct FleetConfig {
     double rollback_tolerance = 0.02;
     /// Failure scenario; the default injects nothing.
     FaultPlan faults;
+    /// Per-link delivery SLO: fraction of a link's flagged images
+    /// that should reach the cloud (terminal losses — backlog
+    /// evictions and crash-destroyed payloads — burn the budget;
+    /// stragglers merely age). Burn-rate windows scale with
+    /// stage_window_s. <= 0 disables the fleet SLOs.
+    double delivery_objective = 0.90;
     /// Optional self-healing supervision layer (uplink circuit
     /// breakers, crash-loop quarantine, canary rollout — see
     /// iot/supervisor.h). nullopt reproduces the unsupervised fleet
@@ -139,6 +148,8 @@ struct FleetStageReport {
     std::vector<int> canary_nodes;    ///< subset of a started canary
     int64_t breaker_opens = 0;        ///< cumulative breaker opens
     double breaker_open_wait_s = 0;   ///< cumulative fast-fail time
+    int64_t slo_alerts = 0;           ///< delivery burn-rate alerts
+                                      ///< raised this stage
 };
 
 /** A fleet of In-situ nodes sharing one cloud. */
@@ -183,6 +194,10 @@ class FleetSim {
 
     /** Is durable persistence active (config_.durable_dir set)? */
     bool durable() const { return registry_wal_ != nullptr; }
+
+    /** The fleet's flight-recorder ring (last-N stage events; durable
+     * fleets persist it as <durable_dir>/flight.dump every stage). */
+    const obs::FlightRecorder& flight() const { return black_box_; }
 
     /**
      * Resume from the durable directory: replay the registry WAL into
@@ -239,6 +254,27 @@ class FleetSim {
     /// Committed registry records found at construction, kept for
     /// recover_from_storage().
     std::vector<storage::WalRecord> recovered_records_;
+    /// Per-link delivery SLOs (one handle per node) fed on the serial
+    /// drain path; empty when delivery_objective <= 0.
+    obs::SloEngine slo_engine_;
+    std::vector<size_t> slo_links_;
+    /// Last-256-events black box (stage starts, crashes, quarantines,
+    /// canary verdicts, updates, deploys); see flight().
+    obs::FlightRecorder black_box_{256};
+    /// Per-node lineage of the flagged images currently on the link:
+    /// minted at capture, advanced at delivery/update/deploy by flow
+    /// edges, reset when the lineage completes or a crash destroys
+    /// the backlog. Serial paths only.
+    std::vector<obs::TraceContext> upload_trace_;
+    /// Nodes whose deliveries sit in deferred_pool_ (canary pending);
+    /// their lineages join the update that finally trains the pool.
+    std::vector<size_t> deferred_contributors_;
+    /// Durable home of the black box (nullptr when not durable). Kept
+    /// outside the fault injector's write stream on purpose: the
+    /// flight dump is diagnostic, and letting it consume storage
+    /// fault draws would perturb the replay-ordered fault sequence of
+    /// the real state files.
+    std::unique_ptr<storage::SnapshotStore> flight_store_;
     int stage_index_ = 0;
     double clock_s_ = 0;
     Rng rng_;

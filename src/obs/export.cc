@@ -1,10 +1,12 @@
 #include "obs/export.h"
 
+#include <cmath>
 #include <cstdio>
 #include <ctime>
 #include <fstream>
 #include <ostream>
 #include <thread>
+#include <unordered_map>
 
 #include "obs/clock.h"
 #include "util/parallel.h"
@@ -88,7 +90,22 @@ write_metric(std::ostream& os, const MetricValue& m)
                 os << "\"inf\"";
             os << "," << m.bucket_counts[b] << "]";
         }
-        os << "]}";
+        os << "]";
+        if (m.count > 0) {
+            // Percentile summary derived from the integer bucket
+            // counts (nearest-rank), so it is byte-identical at any
+            // thread width.
+            os << ",\"p50\":"
+               << format_double(histogram_quantile(
+                      m.bounds, m.bucket_counts, 0.50))
+               << ",\"p90\":"
+               << format_double(histogram_quantile(
+                      m.bounds, m.bucket_counts, 0.90))
+               << ",\"p99\":"
+               << format_double(histogram_quantile(
+                      m.bounds, m.bucket_counts, 0.99));
+        }
+        os << "}";
         break;
     }
 }
@@ -105,6 +122,18 @@ suppressed_in_simulated_mode(const MetricValue& m)
     return m.name.size() >= kSuffix.size() &&
            m.name.compare(m.name.size() - kSuffix.size(),
                           kSuffix.size(), kSuffix) == 0;
+}
+
+/// Trace ids are printed as fixed-width hex strings: 64-bit values
+/// exceed JSON's exact-integer range, and the fixed width keeps the
+/// byte layout identical everywhere.
+std::string
+trace_id_hex(uint64_t id)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(id));
+    return buf;
 }
 
 void
@@ -140,6 +169,11 @@ export_jsonl(std::ostream& os, const MetricsRegistry& registry,
     for (const SpanRecord& s : recorder.snapshot()) {
         write_span_jsonl(os, s);
         os << "\n";
+    }
+    for (const FlowRecord& f : recorder.flows()) {
+        os << "{\"type\":\"flow\",\"trace\":\""
+           << trace_id_hex(f.trace_id) << "\",\"from\":" << f.from
+           << ",\"to\":" << f.to << "}\n";
     }
 }
 
@@ -181,6 +215,42 @@ export_chrome_trace(std::ostream& os, const TraceRecorder& recorder)
         args.push_back({"span_id", std::to_string(s.id)});
         write_attrs(os, args);
         os << "}";
+    }
+    // Causal lineage as legacy flow events: per trace, a chain of
+    // "s" (start) → "t" (step) → "f" (finish, bp:"e") events sharing
+    // the trace id, anchored at the linked spans' timestamps. One
+    // trace = one arrow chain from entry point to deploy-commit.
+    const std::vector<SpanRecord> spans = recorder.snapshot();
+    std::unordered_map<int64_t, double> start_by_id;
+    start_by_id.reserve(spans.size());
+    for (const SpanRecord& s : spans) start_by_id[s.id] = s.start_s;
+    std::vector<uint64_t> trace_order;
+    std::unordered_map<uint64_t, std::vector<int64_t>> chain_by_trace;
+    for (const FlowRecord& f : recorder.flows()) {
+        auto [it, inserted] = chain_by_trace.try_emplace(f.trace_id);
+        if (inserted) trace_order.push_back(f.trace_id);
+        std::vector<int64_t>& chain = it->second;
+        if (chain.empty() || chain.back() != f.from)
+            chain.push_back(f.from);
+        chain.push_back(f.to);
+    }
+    for (const uint64_t trace : trace_order) {
+        const std::vector<int64_t>& chain = chain_by_trace[trace];
+        for (size_t i = 0; i < chain.size(); ++i) {
+            const auto it = start_by_id.find(chain[i]);
+            if (it == start_by_id.end()) continue;
+            const char* ph = i == 0 ? "s"
+                             : i + 1 == chain.size() ? "f"
+                                                     : "t";
+            if (!first) os << ",";
+            first = false;
+            os << "\n{\"name\":\"trace\",\"cat\":\"flow\",\"ph\":\""
+               << ph << "\",\"id\":\"" << trace_id_hex(trace)
+               << "\",\"pid\":0,\"tid\":0,\"ts\":"
+               << format_double(it->second * 1e6);
+            if (*ph == 'f') os << ",\"bp\":\"e\"";
+            os << ",\"args\":{\"span_id\":" << chain[i] << "}}";
+        }
     }
     os << "\n]}\n";
 }
@@ -242,6 +312,53 @@ export_environment_json(std::ostream& os)
        << (TelemetryClock::global().simulated() ? "simulated"
                                                 : "wall")
        << "\",\n    \"timestamp_utc\": \"" << stamp << "\"\n  }";
+}
+
+double
+histogram_quantile(const std::vector<double>& bounds,
+                   const std::vector<int64_t>& bucket_counts, double q)
+{
+    int64_t total = 0;
+    for (const int64_t c : bucket_counts) total += c;
+    if (total <= 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Nearest rank: the smallest bucket whose cumulative count
+    // reaches ceil(q * total).
+    const int64_t rank = std::max<int64_t>(
+        1, static_cast<int64_t>(
+               std::ceil(q * static_cast<double>(total))));
+    int64_t cum = 0;
+    for (size_t b = 0; b < bucket_counts.size(); ++b) {
+        cum += bucket_counts[b];
+        if (cum >= rank) {
+            if (b < bounds.size()) return bounds[b];
+            // Overflow bucket: the histogram cannot resolve beyond
+            // its last finite bound.
+            return bounds.empty() ? 0.0 : bounds.back();
+        }
+    }
+    return bounds.empty() ? 0.0 : bounds.back();
+}
+
+std::string
+histogram_percentile_summary(const MetricValue& m)
+{
+    if (m.kind != MetricValue::Kind::kHistogram || m.count <= 0)
+        return {};
+    std::string out;
+    const struct {
+        const char* label;
+        double q;
+    } points[] = {{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}};
+    for (const auto& p : points) {
+        if (!out.empty()) out += " ";
+        out += p.label;
+        out += "=";
+        out += format_double(
+            histogram_quantile(m.bounds, m.bucket_counts, p.q));
+    }
+    return out;
 }
 
 TablePrinter

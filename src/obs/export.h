@@ -67,4 +67,19 @@ std::string json_escape(const std::string& s);
 /** Fixed deterministic double formatting used by every exporter. */
 std::string format_double(double v);
 
+/**
+ * Nearest-rank quantile from histogram bucket counts — deterministic,
+ * a pure function of the integer counts. Returns the upper bound of
+ * the bucket holding the q-th ranked observation; samples landing in
+ * the overflow bucket report the last finite bound (the histogram
+ * cannot resolve beyond it). 0 when the histogram is empty.
+ */
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<int64_t>& bucket_counts,
+                          double q);
+
+/** "p50=… p90=… p99=…" (format_double) for a histogram metric;
+ * empty string when @p m is not a histogram or has no samples. */
+std::string histogram_percentile_summary(const MetricValue& m);
+
 } // namespace insitu::obs

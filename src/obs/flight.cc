@@ -1,0 +1,118 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace insitu::obs {
+
+namespace {
+
+/// The encoding is line- and tab-delimited; event text must not be
+/// able to forge structure.
+std::string
+sanitize(std::string s)
+{
+    for (char& c : s)
+        if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+    return s;
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1)
+{
+    ring_.reserve(capacity_);
+}
+
+void
+FlightRecorder::record(double t, std::string what, std::string detail)
+{
+    static Counter& events =
+        MetricsRegistry::global().counter("flight.events");
+    events.add(1);
+    FlightEvent ev{t, sanitize(std::move(what)),
+                   sanitize(std::move(detail))};
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(ev));
+    } else {
+        ring_[head_] = std::move(ev);
+        head_ = (head_ + 1) % capacity_;
+    }
+    ++total_;
+}
+
+std::vector<FlightEvent>
+FlightRecorder::snapshot() const
+{
+    std::vector<FlightEvent> out;
+    out.reserve(ring_.size());
+    for (size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+size_t
+FlightRecorder::size() const
+{
+    return ring_.size();
+}
+
+void
+FlightRecorder::clear()
+{
+    ring_.clear();
+    head_ = 0;
+    total_ = 0;
+}
+
+std::string
+FlightRecorder::encode() const
+{
+    std::ostringstream os;
+    const std::vector<FlightEvent> events = snapshot();
+    os << "flight\tv1\t" << total_ << "\t" << events.size() << "\n";
+    for (const FlightEvent& ev : events)
+        os << format_double(ev.t) << "\t" << ev.what << "\t"
+           << ev.detail << "\n";
+    return os.str();
+}
+
+bool
+FlightRecorder::decode(const std::string& blob,
+                       std::vector<FlightEvent>& out, int64_t* total)
+{
+    out.clear();
+    std::istringstream is(blob);
+    std::string line;
+    if (!std::getline(is, line)) return false;
+    long long claimed_total = 0;
+    long long claimed_count = 0;
+    if (std::sscanf(line.c_str(), "flight\tv1\t%lld\t%lld",
+                    &claimed_total, &claimed_count) != 2 ||
+        claimed_count < 0 || claimed_total < claimed_count)
+        return false;
+    while (std::getline(is, line)) {
+        const size_t tab1 = line.find('\t');
+        if (tab1 == std::string::npos) return false;
+        const size_t tab2 = line.find('\t', tab1 + 1);
+        if (tab2 == std::string::npos) return false;
+        FlightEvent ev;
+        ev.t = std::strtod(line.substr(0, tab1).c_str(), nullptr);
+        ev.what = line.substr(tab1 + 1, tab2 - tab1 - 1);
+        ev.detail = line.substr(tab2 + 1);
+        out.push_back(std::move(ev));
+    }
+    if (static_cast<long long>(out.size()) != claimed_count)
+        return false;
+    if (total != nullptr) *total = claimed_total;
+    return true;
+}
+
+} // namespace insitu::obs

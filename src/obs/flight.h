@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Flight recorder: a fixed-size ring of recent structured events —
+ * the black box a subsystem dumps when something goes wrong.
+ *
+ * Each owning subsystem (ServingRuntime, FleetSim) keeps its own
+ * recorder and appends one event per interesting decision on its
+ * serial loop: admissions control, health transitions, SLO alerts,
+ * stage boundaries, recovery actions. When a crash, forced drain or
+ * deep degradation hits, the owner serializes the ring with encode()
+ * and persists it through its SnapshotStore — so every chaos or
+ * kill-anywhere failure leaves a deterministic, byte-identical dump
+ * of the last `capacity` events leading up to it.
+ *
+ * Serial-context only (like Gauge): one writer, the owner's event
+ * loop, timestamps in nondecreasing simulated time. The encoding is
+ * a pure function of the recorded events, so dumps byte-diff clean
+ * across thread widths and across recovered replays.
+ *
+ * Telemetry: `flight.events` counts records, `flight.dumps` is
+ * bumped by owners when they persist a ring.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace insitu::obs {
+
+/** One recorded event: when, what happened, free-form detail. */
+struct FlightEvent {
+    double t = 0;
+    std::string what;   ///< dotted event name, e.g. "serving.health"
+    std::string detail; ///< single-line detail (tabs/newlines stripped)
+};
+
+/** Bounded ring buffer of FlightEvents, oldest evicted first. */
+class FlightRecorder {
+  public:
+    explicit FlightRecorder(size_t capacity = 256);
+
+    /** Append an event, evicting the oldest at capacity. */
+    void record(double t, std::string what, std::string detail = {});
+
+    /** Events still in the ring, oldest first. */
+    std::vector<FlightEvent> snapshot() const;
+
+    /** Events ever recorded (snapshot().size() once wrapped). */
+    int64_t total() const { return total_; }
+    size_t size() const;
+    size_t capacity() const { return capacity_; }
+    void clear();
+
+    /**
+     * Deterministic single-string serialization: a header line with
+     * the lifetime total and retained count, then one tab-separated
+     * line per event (time via the exporter's fixed %.9f). Feed it
+     * to SnapshotStore::write().
+     */
+    std::string encode() const;
+
+    /** Parse an encode() blob. False on malformed input; on success
+     * fills @p out oldest-first and (optionally) @p total. */
+    static bool decode(const std::string& blob,
+                       std::vector<FlightEvent>& out,
+                       int64_t* total = nullptr);
+
+  private:
+    size_t capacity_;
+    std::vector<FlightEvent> ring_;
+    size_t head_ = 0; ///< next write position once full
+    int64_t total_ = 0;
+};
+
+} // namespace insitu::obs

@@ -1,0 +1,158 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace insitu::obs {
+
+namespace {
+/// The fast window is split into this many time buckets; the slow
+/// window reuses the same ring at the same granularity.
+constexpr int64_t kFastBuckets = 4;
+} // namespace
+
+BurnRateTracker::BurnRateTracker(SloObjective obj)
+    : obj_(std::move(obj))
+{
+    INSITU_CHECK(obj_.objective > 0.0 && obj_.objective < 1.0,
+                 "SLO objective must be in (0, 1): ", obj_.name);
+    INSITU_CHECK(obj_.fast_window_s > 0.0 &&
+                     obj_.slow_window_s >= obj_.fast_window_s,
+                 "SLO windows must satisfy 0 < fast <= slow: ",
+                 obj_.name);
+    fast_buckets_ = kFastBuckets;
+    const double width = obj_.fast_window_s /
+                         static_cast<double>(kFastBuckets);
+    const auto slow = static_cast<int64_t>(
+        std::ceil(obj_.slow_window_s / width));
+    buckets_.assign(static_cast<size_t>(std::max(slow, fast_buckets_)),
+                    Bucket{});
+}
+
+void
+BurnRateTracker::advance(int64_t bucket_index)
+{
+    if (bucket_index <= head_) return;
+    const auto n = static_cast<int64_t>(buckets_.size());
+    if (bucket_index - head_ >= n) {
+        buckets_.assign(buckets_.size(), Bucket{});
+    } else {
+        for (int64_t i = head_ + 1; i <= bucket_index; ++i)
+            buckets_[static_cast<size_t>(i % n)] = Bucket{};
+    }
+    head_ = bucket_index;
+}
+
+void
+BurnRateTracker::record(double t, bool good, int64_t n)
+{
+    const double width = obj_.fast_window_s /
+                         static_cast<double>(kFastBuckets);
+    const auto bi = static_cast<int64_t>(std::floor(t / width));
+    advance(std::max<int64_t>(bi, 0));
+    Bucket& b = buckets_[static_cast<size_t>(
+        head_ % static_cast<int64_t>(buckets_.size()))];
+    b.total += n;
+    if (good) b.good += n;
+}
+
+int64_t
+BurnRateTracker::events(int64_t n) const
+{
+    const auto size = static_cast<int64_t>(buckets_.size());
+    n = std::min(n, size);
+    int64_t total = 0;
+    for (int64_t i = 0; i < n; ++i)
+        total += buckets_[static_cast<size_t>(
+                              ((head_ - i) % size + size) % size)]
+                     .total;
+    return total;
+}
+
+double
+BurnRateTracker::burn(int64_t n) const
+{
+    const auto size = static_cast<int64_t>(buckets_.size());
+    n = std::min(n, size);
+    int64_t total = 0;
+    int64_t good = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        const Bucket& b = buckets_[static_cast<size_t>(
+            ((head_ - i) % size + size) % size)];
+        total += b.total;
+        good += b.good;
+    }
+    if (total == 0) return 0.0;
+    const double bad_fraction =
+        static_cast<double>(total - good) /
+        static_cast<double>(total);
+    const double budget = 1.0 - obj_.objective;
+    return bad_fraction / budget;
+}
+
+SloEvent
+BurnRateTracker::evaluate()
+{
+    const double fast = fast_burn();
+    const double slow = slow_burn();
+    if (!alerting_) {
+        if (fast >= obj_.burn_alert && slow >= obj_.burn_alert &&
+            events(fast_buckets_) >= obj_.min_events) {
+            alerting_ = true;
+            return SloEvent::kAlertRaised;
+        }
+    } else if (fast < obj_.burn_alert * 0.5 &&
+               slow < obj_.burn_alert * 0.5) {
+        alerting_ = false;
+        return SloEvent::kAlertCleared;
+    }
+    return SloEvent::kNone;
+}
+
+SloEngine::SloEngine(MetricsRegistry* registry)
+    : registry_(registry != nullptr ? registry
+                                    : &MetricsRegistry::global())
+{}
+
+size_t
+SloEngine::declare(SloObjective obj)
+{
+    const std::string base = "slo." + obj.name;
+    Handles h;
+    h.fast = &registry_->gauge(base + ".burn_rate.fast");
+    h.slow = &registry_->gauge(base + ".burn_rate.slow");
+    h.alerts = &registry_->counter(base + ".alerts");
+    trackers_.emplace_back(std::move(obj));
+    handles_.push_back(h);
+    return trackers_.size() - 1;
+}
+
+SloEvent
+SloEngine::record(size_t handle, double t, bool good, int64_t n)
+{
+    BurnRateTracker& tr = trackers_[handle];
+    tr.record(t, good, n);
+    Handles& h = handles_[handle];
+    h.fast->set(tr.fast_burn());
+    h.slow->set(tr.slow_burn());
+    const SloEvent ev = tr.evaluate();
+    if (ev == SloEvent::kAlertRaised) {
+        h.alerts->add(1);
+        TraceRecorder::global().instant_at(
+            t, "slo.alert",
+            {{"slo", tr.objective().name},
+             {"fast_burn", format_double(tr.fast_burn())},
+             {"slow_burn", format_double(tr.slow_burn())}});
+    } else if (ev == SloEvent::kAlertCleared) {
+        TraceRecorder::global().instant_at(
+            t, "slo.alert.cleared",
+            {{"slo", tr.objective().name}});
+    }
+    return ev;
+}
+
+} // namespace insitu::obs

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * SLO objectives with multi-window burn-rate alerting.
+ *
+ * An objective declares a target good fraction ("99% of guaranteed
+ * requests hit their deadline", "95% of captured images get
+ * delivered"). The tracker buckets outcomes on the telemetry
+ * timeline and reports the **burn rate** over a fast and a slow
+ * window: the observed bad fraction divided by the error budget
+ * (1 - objective). Burn 1.0 = consuming budget exactly at the
+ * sustainable rate; burn 10 = ten times too fast.
+ *
+ * Alerts follow the classic multi-window rule: raise only when
+ * *both* windows burn above the threshold (the fast window reacts,
+ * the slow window filters blips), clear with hysteresis at half the
+ * threshold. Everything is driven by the caller's serial event loop
+ * on the simulated clock — no background threads, no wall time — so
+ * burn rates, gauges and alert instants are a pure function of the
+ * scenario and replay byte-identically at any thread width.
+ *
+ * Emitted telemetry (per declared objective `<name>`):
+ *   - `slo.<name>.burn_rate.fast` / `.slow` gauges (last recorded)
+ *   - `slo.<name>.alerts` counter (raise edges)
+ *   - `slo.alert` / `slo.alert.cleared` trace instants
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace insitu::obs {
+
+/** One service-level objective on a good/bad event stream. */
+struct SloObjective {
+    std::string name;         ///< metric-path segment, e.g. "serving.guaranteed.deadline"
+    double objective = 0.99;  ///< target good fraction in (0, 1)
+    double fast_window_s = 2.0;
+    double slow_window_s = 10.0;
+    double burn_alert = 2.0;  ///< raise when both windows burn >= this
+    int64_t min_events = 8;   ///< fast-window events needed to alert
+};
+
+/** What a record() call did to the alert state. */
+enum class SloEvent {
+    kNone,
+    kAlertRaised,
+    kAlertCleared,
+};
+
+/**
+ * Time-bucketed good/total ring covering the slow window. Serial-
+ * context only (like Gauge): the owning event loop records outcomes
+ * in nondecreasing time order.
+ */
+class BurnRateTracker {
+  public:
+    explicit BurnRateTracker(SloObjective obj);
+
+    /** Record @p n outcomes at time @p t. */
+    void record(double t, bool good, int64_t n = 1);
+
+    double fast_burn() const { return burn(fast_buckets_); }
+    double slow_burn() const
+    {
+        return burn(static_cast<int64_t>(buckets_.size()));
+    }
+    bool alerting() const { return alerting_; }
+    const SloObjective& objective() const { return obj_; }
+
+    /** Evaluate the multi-window alert rule after a record(). */
+    SloEvent evaluate();
+
+  private:
+    struct Bucket {
+        int64_t good = 0;
+        int64_t total = 0;
+    };
+
+    /** Burn rate over the most recent @p n buckets. */
+    double burn(int64_t n) const;
+    int64_t events(int64_t n) const;
+    void advance(int64_t bucket_index);
+
+    SloObjective obj_;
+    std::vector<Bucket> buckets_; ///< ring, indexed by time bucket
+    int64_t fast_buckets_ = 1;
+    int64_t head_ = 0; ///< absolute index of the newest bucket
+    bool alerting_ = false;
+};
+
+/**
+ * A named set of burn-rate trackers that mirrors state into the
+ * metrics registry and the trace recorder. Serial-context only.
+ */
+class SloEngine {
+  public:
+    /** Gauges/counters go to @p registry (default: the global one). */
+    explicit SloEngine(MetricsRegistry* registry = nullptr);
+
+    /** Declare an objective; returns its handle for record(). */
+    size_t declare(SloObjective obj);
+
+    /**
+     * Record @p n outcomes at @p t against objective @p handle,
+     * refresh its gauges, and run the alert rule. Returns what
+     * happened so the owning loop can log causality (alert lines
+     * must precede the mitigation they trigger).
+     */
+    SloEvent record(size_t handle, double t, bool good, int64_t n = 1);
+
+    const BurnRateTracker& tracker(size_t handle) const
+    {
+        return trackers_[handle];
+    }
+    size_t size() const { return trackers_.size(); }
+
+  private:
+    struct Handles {
+        Gauge* fast = nullptr;
+        Gauge* slow = nullptr;
+        Counter* alerts = nullptr;
+    };
+
+    MetricsRegistry* registry_;
+    std::vector<BurnRateTracker> trackers_;
+    std::vector<Handles> handles_;
+};
+
+} // namespace insitu::obs

@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include "obs/clock.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -12,6 +13,20 @@ namespace {
 /// begin() refuses spans from inside parallel regions.
 thread_local std::vector<int64_t> tls_span_stack;
 } // namespace
+
+TraceContext
+mint_trace_context(uint64_t seed, uint64_t sequence)
+{
+    // splitmix64 finalizer over (seed, sequence): a pure function of
+    // the scenario, so replays mint identical ids at any width.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (sequence + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    TraceContext ctx;
+    ctx.trace_id = z != 0 ? z : 1; // 0 is the "no trace" sentinel
+    return ctx;
+}
 
 TraceRecorder&
 TraceRecorder::global()
@@ -43,8 +58,8 @@ TraceRecorder::begin_with_attrs(const char* name,
     if (!enabled() || in_parallel_region()) return -1;
     const double t = now_s();
     std::lock_guard<std::mutex> lock(mutex_);
-    if (records_.size() >= kMaxRecords) {
-        ++dropped_;
+    if (records_.size() >= capacity_) {
+        count_drop();
         return -1;
     }
     SpanRecord rec;
@@ -76,21 +91,21 @@ TraceRecorder::end(int64_t id)
         records_[idx].end_s = t;
 }
 
-void
+int64_t
 TraceRecorder::instant(const char* name, std::vector<SpanAttr> attrs)
 {
-    instant_at(now_s(), name, std::move(attrs));
+    return instant_at(now_s(), name, std::move(attrs));
 }
 
-void
+int64_t
 TraceRecorder::instant_at(double t, const char* name,
                           std::vector<SpanAttr> attrs)
 {
-    if (!enabled() || in_parallel_region()) return;
+    if (!enabled() || in_parallel_region()) return -1;
     std::lock_guard<std::mutex> lock(mutex_);
-    if (records_.size() >= kMaxRecords) {
-        ++dropped_;
-        return;
+    if (records_.size() >= capacity_) {
+        count_drop();
+        return -1;
     }
     SpanRecord rec;
     rec.id = next_id_++;
@@ -101,6 +116,41 @@ TraceRecorder::instant_at(double t, const char* name,
     rec.end_s = t;
     rec.attrs = std::move(attrs);
     records_.push_back(std::move(rec));
+    return records_.back().id;
+}
+
+void
+TraceRecorder::flow(const TraceContext& ctx, int64_t to_span)
+{
+    if (!enabled() || in_parallel_region()) return;
+    if (!ctx.valid() || ctx.parent_span < 0 || to_span < 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (flows_.size() >= capacity_) {
+        count_drop();
+        return;
+    }
+    flows_.push_back({ctx.trace_id, ctx.parent_span, to_span});
+}
+
+void
+TraceRecorder::count_drop()
+{
+    ++dropped_;
+    static Counter& metric =
+        MetricsRegistry::global().counter("trace.dropped");
+    metric.add(1);
+    if (!warned_dropped_) {
+        warned_dropped_ = true;
+        warn("TraceRecorder capacity reached; further spans/flows "
+             "are dropped (counted in trace.dropped)");
+    }
+}
+
+void
+TraceRecorder::set_capacity(size_t cap)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = cap;
 }
 
 std::vector<SpanRecord>
@@ -108,6 +158,13 @@ TraceRecorder::snapshot() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return records_;
+}
+
+std::vector<FlowRecord>
+TraceRecorder::flows() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return flows_;
 }
 
 size_t
@@ -129,8 +186,11 @@ TraceRecorder::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     records_.clear();
+    flows_.clear();
+    capacity_ = kMaxRecords;
     next_id_ = 0;
     dropped_ = 0;
+    warned_dropped_ = false;
 }
 
 } // namespace insitu::obs

@@ -46,6 +46,37 @@ struct SpanAttr {
     std::string value;
 };
 
+/**
+ * Causal trace identity carried by value across subsystem boundaries
+ * (a serving Request, a fleet image capture, a cloud model update).
+ * `trace_id` names the end-to-end lineage; `parent_span` is the id of
+ * the most recent span/instant recorded for this trace, so the next
+ * hop can link itself with a flow edge. trace_id == 0 means "no
+ * trace" (tracing disabled or never minted).
+ */
+struct TraceContext {
+    uint64_t trace_id = 0;
+    int64_t parent_span = -1;
+
+    bool valid() const { return trace_id != 0; }
+};
+
+/**
+ * Mint a deterministic trace id from a scenario seed and a sequence
+ * counter (request id, capture index, update version — never wall
+ * clock, never an RNG draw, so replays mint identical ids at any
+ * thread width). splitmix64 finalizer; never returns 0.
+ */
+TraceContext mint_trace_context(uint64_t seed, uint64_t sequence);
+
+/** One causal edge: span/instant @p from happened-before @p to on
+ * trace @p trace_id. Exported as Chrome flow events. */
+struct FlowRecord {
+    uint64_t trace_id = 0;
+    int64_t from = -1;
+    int64_t to = -1;
+};
+
 /** One recorded span (or instant event, when end_s == start_s and
  * `instant` is set). */
 struct SpanRecord {
@@ -92,34 +123,60 @@ class TraceRecorder {
      * this thread (strict nesting). */
     void end(int64_t id);
 
-    /** Record a zero-duration event at the current telemetry time. */
-    void instant(const char* name, std::vector<SpanAttr> attrs = {});
+    /** Record a zero-duration event at the current telemetry time.
+     * Returns its id (-1 when not recorded) so flow edges can anchor
+     * on it. */
+    int64_t instant(const char* name, std::vector<SpanAttr> attrs = {});
 
     /** Record a zero-duration event at an explicit time @p t (for
      * subsystems that carry their own simulation clock). */
-    void instant_at(double t, const char* name,
-                    std::vector<SpanAttr> attrs = {});
+    int64_t instant_at(double t, const char* name,
+                       std::vector<SpanAttr> attrs = {});
+
+    /**
+     * Record a causal edge from @p ctx.parent_span to @p to_span on
+     * @p ctx's trace. Silently ignored when recording is off, either
+     * end was dropped (-1), or @p ctx was never minted — so callers
+     * can link unconditionally on serial paths.
+     */
+    void flow(const TraceContext& ctx, int64_t to_span);
 
     /** Copy of every record, in creation order. */
     std::vector<SpanRecord> snapshot() const;
+
+    /** Copy of every flow edge, in creation order. */
+    std::vector<FlowRecord> flows() const;
 
     size_t size() const;
 
     /** Spans dropped because the buffer cap was reached. */
     int64_t dropped() const;
 
-    /** Forget every record (ids restart at 0). */
+    /** Forget every record and flow (ids restart at 0); the capacity
+     * reverts to kMaxRecords. */
     void clear();
 
-    /** Buffer cap; further spans are dropped (and counted). */
+    /** Buffer cap; further spans are dropped (and counted, with a
+     * one-time warning + `trace.dropped` global counter). */
     static constexpr size_t kMaxRecords = 1u << 20;
 
+    /** Shrink the cap (tests exercise the drop path without a million
+     * spans). clear() restores the default. */
+    void set_capacity(size_t cap);
+
   private:
+    /// Count one capacity drop: warn on the first, mirror the total
+    /// into the global `trace.dropped` counter. Caller holds mutex_.
+    void count_drop();
+
     std::atomic<bool> enabled_{false};
     mutable std::mutex mutex_;
     std::vector<SpanRecord> records_;
+    std::vector<FlowRecord> flows_;
+    size_t capacity_ = kMaxRecords;
     int64_t next_id_ = 0;
     int64_t dropped_ = 0;
+    bool warned_dropped_ = false;
 };
 
 /** RAII span handle; see INSITU_SPAN. */

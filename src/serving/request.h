@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace insitu::serving {
 
 /**
@@ -34,6 +36,9 @@ struct Request {
     int cls = 0;          ///< index into the mix's class list
     double arrival_s = 0; ///< simulated arrival time
     double deadline_s = 0;///< absolute: arrival + class deadline
+    /// Causal identity, minted deterministically from the mix seed
+    /// and the request id; links arrival → batch span in the trace.
+    obs::TraceContext trace;
 };
 
 } // namespace insitu::serving

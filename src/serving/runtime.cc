@@ -11,8 +11,12 @@
 #include "iot/node.h"
 #include "obs/clock.h"
 #include "obs/export.h"
+#include "obs/flight.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "serving/calibrate.h"
+#include "storage/file.h"
+#include "storage/snapshot.h"
 #include "util/logging.h"
 
 namespace insitu::serving {
@@ -51,6 +55,15 @@ residual_options()
     return {{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0}, 1e-9};
 }
 
+/** Histogram options for request latencies: bounds bracketing the
+ * deadline classes, so bucket-derived percentiles resolve them. */
+obs::HistogramOptions
+latency_options()
+{
+    return {{0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0},
+            1e-9};
+}
+
 } // namespace
 
 struct ServingRuntime::Impl {
@@ -74,6 +87,10 @@ struct ServingRuntime::Impl {
     DeviceHealth cur_state = DeviceHealth::kHealthy;
     int cur_rung = 0;
     bool shedding = false; ///< ladder's admission mask installed?
+    /// One flight dump per forced-drain episode: re-armed at every
+    /// health transition, spent by the first drain after it (the
+    /// rung-entry dump already captured the escalation itself).
+    bool drain_dump_armed = true;
 
     // ---- event timeline state ----
     size_t next_arrival = 0;
@@ -117,6 +134,14 @@ struct ServingRuntime::Impl {
     ServingReport rep;
     bool ran = false;
 
+    // ---- SLO burn-rate engine + flight recorder ----
+    obs::SloEngine slo_engine;
+    std::vector<size_t> slo_handles; ///< one per mix class
+    obs::FlightRecorder black_box{256};
+    /// Causal identity of the staged (not yet committed) update.
+    obs::TraceContext update_trace;
+    uint64_t update_seq = 0;
+
     // Synthetic payload pool for real inference on the node.
     Dataset pool;
 
@@ -145,6 +170,9 @@ struct ServingRuntime::Impl {
     obs::Gauge& m_overhead;
     obs::Gauge& m_health;
     obs::Gauge& m_rung;
+    /// Run-local latency histogram: bench reports derive their
+    /// p50/p90/p99 from its buckets (obs::histogram_quantile).
+    obs::Histogram& l_latency;
 
     Impl(ServingConfig config, InsituNode* n)
         : cfg(std::move(config)), node(n),
@@ -199,7 +227,9 @@ struct ServingRuntime::Impl {
           m_health(obs::MetricsRegistry::global().gauge(
               "serving.health.state")),
           m_rung(obs::MetricsRegistry::global().gauge(
-              "serving.health.rung"))
+              "serving.health.rung")),
+          l_latency(local.histogram("serving.request.latency_s",
+                                    latency_options()))
     {
         if (cfg.faults.device_faulty()) {
             injector.emplace(cfg.faults);
@@ -222,6 +252,21 @@ struct ServingRuntime::Impl {
                                 Condition{}, pool_rng);
         }
         if (node != nullptr) live_version = node->model_version();
+        if (cfg.slo.enabled) {
+            for (const RequestClass& c : cfg.mix.classes) {
+                obs::SloObjective obj;
+                obj.name = "serving." + c.name + ".deadline";
+                obj.objective = c.best_effort
+                                    ? cfg.slo.best_effort_objective
+                                    : cfg.slo.objective;
+                obj.fast_window_s = cfg.slo.fast_window_s;
+                obj.slow_window_s = cfg.slo.slow_window_s;
+                obj.burn_alert = cfg.slo.burn_alert;
+                obj.min_events = cfg.slo.min_events;
+                slo_handles.push_back(
+                    slo_engine.declare(std::move(obj)));
+            }
+        }
     }
 
     // ---- transcript -------------------------------------------------
@@ -252,6 +297,62 @@ struct ServingRuntime::Impl {
         return t < diag_until_s ? diag_batch_ops : 0.0;
     }
 
+    // ---- SLO feed + flight recorder --------------------------------
+    /**
+     * Record one request outcome against its class's deadline SLO.
+     * Alert lines land in the transcript here — on the event that
+     * raised them, hence *before* observe_health() can escalate the
+     * ladder — so transcripts show alert → rung causality.
+     */
+    void
+    slo_record(double t, int cls, bool good)
+    {
+        if (!cfg.slo.enabled) return;
+        const size_t h = slo_handles[static_cast<size_t>(cls)];
+        publish(t);
+        const obs::SloEvent ev = slo_engine.record(h, t, good);
+        if (ev == obs::SloEvent::kNone) return;
+        const obs::BurnRateTracker& tr = slo_engine.tracker(h);
+        const char* name = tr.objective().name.c_str();
+        if (ev == obs::SloEvent::kAlertRaised) {
+            ++rep.slo_alerts;
+            black_box.record(t, "slo.alert", tr.objective().name);
+            line(TranscriptLevel::kSummary,
+                 "[t=%.6f] slo alert %s fast_burn=%.2f "
+                 "slow_burn=%.2f",
+                 t, name, tr.fast_burn(), tr.slow_burn());
+        } else {
+            black_box.record(t, "slo.alert.cleared",
+                             tr.objective().name);
+            line(TranscriptLevel::kSummary,
+                 "[t=%.6f] slo clear %s fast_burn=%.2f", t, name,
+                 tr.fast_burn());
+        }
+    }
+
+    /** Persist the flight-recorder ring (the chaos black box). The
+     * dump is a pure function of the event history, so it byte-diffs
+     * clean across thread widths; each trigger atomically replaces
+     * the previous dump. */
+    void
+    dump_flight(double t)
+    {
+        if (cfg.flight_dump_path.empty()) return;
+        storage::SnapshotStore store(
+            storage::open_storage_file(cfg.flight_dump_path));
+        if (store.write(black_box.encode())) {
+            ++rep.flight_dumps;
+            obs::MetricsRegistry::global()
+                .counter("flight.dumps")
+                .add(1);
+            line(TranscriptLevel::kSummary,
+                 "[t=%.6f] flight recorder dumped (%lld events, "
+                 "%lld total)",
+                 t, static_cast<long long>(black_box.size()),
+                 static_cast<long long>(black_box.total()));
+        }
+    }
+
     // ---- double-buffer protocol ------------------------------------
     void
     stage_update(double t)
@@ -265,9 +366,16 @@ struct ServingRuntime::Impl {
         if (flight) ++rep.mid_batch_stages;
         m_staged.add();
         publish(t);
-        obs::TraceRecorder::global().instant(
-            "serving.swap.staged",
-            {{"version", std::to_string(staged_version)}});
+        // Update lineage: a fresh trace per staged update, anchored
+        // at the staged instant and flowed to its commit.
+        update_trace = obs::mint_trace_context(
+            cfg.mix.seed ^ 0xD3910Full, ++update_seq);
+        update_trace.parent_span =
+            obs::TraceRecorder::global().instant(
+                "serving.swap.staged",
+                {{"version", std::to_string(staged_version)}});
+        black_box.record(t, "serving.swap.staged",
+                         "v" + std::to_string(staged_version));
         line(TranscriptLevel::kSummary,
              "[t=%.6f] update v%llu staged%s", t,
              static_cast<unsigned long long>(staged_version),
@@ -290,9 +398,14 @@ struct ServingRuntime::Impl {
         }
         ++rep.swaps_committed;
         m_swapped.add();
-        obs::TraceRecorder::global().instant(
-            "serving.swap.committed",
-            {{"version", std::to_string(live_version)}});
+        const int64_t commit_span =
+            obs::TraceRecorder::global().instant(
+                "serving.swap.committed",
+                {{"version", std::to_string(live_version)}});
+        obs::TraceRecorder::global().flow(update_trace, commit_span);
+        update_trace = {};
+        black_box.record(t, "serving.swap.committed",
+                         "v" + std::to_string(live_version));
         line(TranscriptLevel::kSummary,
              "[t=%.6f] swap v%llu committed at batch boundary", t,
              static_cast<unsigned long long>(live_version));
@@ -313,6 +426,7 @@ struct ServingRuntime::Impl {
                      static_cast<long long>(r.id),
                      cfg.mix.classes[static_cast<size_t>(r.cls)]
                          .name.c_str());
+                slo_record(t, r.cls, /*good=*/false);
             }
         }
         if (queue.empty()) return;
@@ -331,6 +445,12 @@ struct ServingRuntime::Impl {
             ov.force_drain = true;
             ++rep.degradation.forced_drain;
             m_forced_drain.add();
+            black_box.record(t, "serving.degrade.forced_drain",
+                             "rung=" + std::to_string(cur_rung));
+            if (drain_dump_armed) {
+                drain_dump_armed = false;
+                dump_flight(t);
+            }
         }
         const BatchDecision d = planner.plan(planner_gpu, cfg.net, t,
                                              deadlines, dops, ov);
@@ -385,6 +505,14 @@ struct ServingRuntime::Impl {
             "serving.batch",
             {{"size", std::to_string(d.batch)},
              {"version", std::to_string(f.version)}});
+        // Causal links: every admitted request's arrival instant
+        // flows into the batch span that serves it.
+        for (const Request& r : f.reqs)
+            obs::TraceRecorder::global().flow(r.trace, f.span_id);
+        black_box.record(t, "serving.batch.start",
+                         "#" + std::to_string(f.seq) + " size=" +
+                             std::to_string(d.batch) + " v" +
+                             std::to_string(f.version));
         line(TranscriptLevel::kSummary,
              "[t=%.6f] batch #%lld start size=%lld version=%llu "
              "pred=%.6f corun=%.3f feasible=%d depth=%lld",
@@ -417,14 +545,23 @@ struct ServingRuntime::Impl {
             c.latencies.push_back(latency);
             m_served.add();
             m_latency.observe(latency);
-            if (t > r.deadline_s + kDeadlineEps) {
+            l_latency.observe(latency);
+            const bool on_time = !(t > r.deadline_s + kDeadlineEps);
+            if (!on_time) {
                 ++c.late;
                 ++late;
                 m_missed.add();
             }
+            // SLO outcomes feed here, before observe_health() below
+            // can escalate the ladder: alert lines precede the rung
+            // transitions they explain.
+            slo_record(t, r.cls, on_time);
         }
         publish(t);
         obs::TraceRecorder::global().end(f.span_id);
+        black_box.record(t, "serving.batch.done",
+                         "#" + std::to_string(f.seq) + " late=" +
+                             std::to_string(late));
         line(TranscriptLevel::kSummary,
              "[t=%.6f] batch #%lld done size=%lld late=%lld", t,
              static_cast<long long>(f.seq),
@@ -493,10 +630,18 @@ struct ServingRuntime::Impl {
                 "serving.health.transition",
                 {{"state", device_health_name(cur_state)},
                  {"rung", std::to_string(cur_rung)}});
+            black_box.record(
+                t, "serving.health",
+                std::string(device_health_name(cur_state)) +
+                    " rung=" + std::to_string(cur_rung));
             line(TranscriptLevel::kSummary,
                  "[t=%.6f] health %s rung=%d ewma=%.4f shed=%d", t,
                  device_health_name(cur_state), cur_rung,
                  detector.ewma(), shedding ? 1 : 0);
+            // Deep degradation is a black-box trigger: persist the
+            // ring the moment rung 3 is reached.
+            drain_dump_armed = true;
+            if (cur_rung >= 3) dump_flight(t);
         }
         // Probation passed: re-fit before trusting the device again.
         if (v.calibrate) calib_tick(t);
@@ -505,10 +650,18 @@ struct ServingRuntime::Impl {
     void
     arrive(double t)
     {
-        const Request& r = arrivals[next_arrival++];
+        Request& r = arrivals[next_arrival++];
         auto& c = tally[static_cast<size_t>(r.cls)];
         ++c.arrived;
         m_arrived.add();
+        // Entry point of the request's causal trace: the arrival
+        // instant becomes the parent the batch span links back to.
+        publish(t);
+        r.trace.parent_span = obs::TraceRecorder::global().instant(
+            "serving.request.arrive",
+            {{"id", std::to_string(r.id)},
+             {"class",
+              cfg.mix.classes[static_cast<size_t>(r.cls)].name}});
         if (queue.admit(r)) {
             m_admitted.add();
             line(TranscriptLevel::kFull,
@@ -526,6 +679,7 @@ struct ServingRuntime::Impl {
                  static_cast<long long>(r.id),
                  cfg.mix.classes[static_cast<size_t>(r.cls)]
                      .name.c_str());
+            slo_record(t, r.cls, /*good=*/false);
         } else {
             ++c.dropped;
             m_dropped.add();
@@ -534,6 +688,7 @@ struct ServingRuntime::Impl {
                  static_cast<long long>(r.id),
                  cfg.mix.classes[static_cast<size_t>(r.cls)]
                      .name.c_str());
+            slo_record(t, r.cls, /*good=*/false);
         }
         try_dispatch(t);
     }
@@ -809,6 +964,13 @@ struct ServingRuntime::Impl {
                      rep.degradation.calib_skipped),
                  static_cast<long long>(rep.degradation.forced_drain),
                  static_cast<long long>(rep.degradation.recoveries));
+        // Same gate: only runs where the SLO engine actually fired
+        // gain a summary line.
+        if (rep.slo_alerts > 0)
+            line(TranscriptLevel::kSummary,
+                 "[serving] slo: alerts=%lld flight_dumps=%lld",
+                 static_cast<long long>(rep.slo_alerts),
+                 static_cast<long long>(rep.flight_dumps));
     }
 };
 

@@ -76,6 +76,28 @@ struct CalibrationConfig {
     int64_t min_samples = 8;
 };
 
+/**
+ * Per-RequestClass deadline-hit SLOs with multi-window burn-rate
+ * alerting (obs/slo.h). One objective is declared per mix class;
+ * completions, drops and sheds feed it on the serial event loop, and
+ * alert transcript lines are emitted *before* the degradation ladder
+ * reacts — so transcripts show alert → rung-escalation causality.
+ */
+struct SloConfig {
+    bool enabled = true;
+    /// Deadline-hit objective for guaranteed classes.
+    double objective = 0.90;
+    /// Looser objective for best_effort classes (they are shed first
+    /// by design; alerting at the guaranteed target would page on
+    /// intended behavior).
+    double best_effort_objective = 0.75;
+    double fast_window_s = 2.0;
+    double slow_window_s = 8.0;
+    /// Raise when both windows burn error budget at >= this rate.
+    double burn_alert = 2.0;
+    int64_t min_events = 8; ///< fast-window events needed to alert
+};
+
 /** Transcript verbosity. */
 enum class TranscriptLevel {
     kOff,     ///< no transcript
@@ -120,6 +142,13 @@ struct ServingConfig {
     /// Degradation ladder knobs; degrade.enabled = false is the
     /// unguarded baseline every ladder comparison runs against.
     DegradeConfig degrade;
+    /// Per-class deadline SLOs + burn-rate alerting.
+    SloConfig slo;
+    /// When non-empty: dump the runtime's flight-recorder ring
+    /// through a SnapshotStore at this path whenever the ladder
+    /// reaches rung >= 3 or forces a drain — the chaos black box
+    /// (`check_slo` byte-diffs it across thread widths).
+    std::string flight_dump_path;
 };
 
 /** Outcome tallies for one class (or the total row). */
@@ -183,6 +212,9 @@ struct ServingReport {
     /// True if any batch observed a version change between its start
     /// and completion. The protocol guarantees false.
     bool swap_torn = false;
+
+    int64_t slo_alerts = 0;  ///< burn-rate alert raise edges
+    int64_t flight_dumps = 0;///< flight-recorder rings persisted
 
     int64_t calibration_fits = 0;
     GpuCalibration final_calibration;

@@ -93,6 +93,10 @@ generate_arrivals(const TrafficMix& mix,
         }
         r.deadline_s =
             t + mix.classes[static_cast<size_t>(r.cls)].deadline_s;
+        // Trace identity is a pure function of (seed, id): no RNG
+        // draw, so arrival sequences are unchanged by tracing.
+        r.trace = obs::mint_trace_context(mix.seed,
+                                          static_cast<uint64_t>(r.id));
         out.push_back(r);
     }
     return out;
