@@ -62,8 +62,10 @@ else
         fi
     done
     # The kernel-tuning knobs must stay documented alongside the
-    # benches that exercise them.
-    for needle in 'INSITU_GEMM' 'check_perf'; do
+    # benches that exercise them, and the fleet-scale gates alongside
+    # the sweep they guard.
+    for needle in 'INSITU_GEMM' 'check_perf' 'check_fleet_scale' \
+            'INSITU_PERF_FLOOR_FLEET'; do
         if ! grep -qF "$needle" "$perf"; then
             note "docs/performance.md does not mention $needle"
             fail=1
@@ -80,6 +82,7 @@ else
     # One entry per instrumented subsystem plus the knobs users need.
     for needle in 'tensor.' 'nn.forward' 'nn.backward' 'iot.uplink' \
             'iot.fleet' 'iot.breaker' 'iot.supervisor' \
+            'fleet.shard.' 'cloud.shard.' 'fleet.scale.' \
             'faults.injected' 'cloud.' 'parallel.' 'bench.' \
             'storage.' 'serving.' 'serving.health' 'serving.degrade' \
             'serving.queue.' 'INSITU_TELEMETRY_JSONL' \

@@ -21,15 +21,48 @@
 #
 # INSITU_PERF_FLOOR overrides the floor in either mode.
 #
-# Usage: check_perf.sh <path-to-bench_kernels-binary> [smoke|full]
+# A third mode guards the sharded fleet engine instead of the GEMM:
+#   fleet — <binary> is the fleet_scale example; run 100k nodes for
+#       6 stages and require events/sec >= INSITU_PERF_FLOOR_FLEET
+#       (default 200000 — the quiet-machine rate is ~40x that, so the
+#       gate only catches order-of-magnitude regressions on CI).
+#
+# Usage: check_perf.sh <path-to-binary> [smoke|full|fleet]
 set -u
 
 if [ $# -lt 1 ] || [ ! -x "$1" ]; then
-    printf 'usage: %s <bench_kernels binary> [smoke|full]\n' "$0" >&2
+    printf 'usage: %s <binary> [smoke|full|fleet]\n' "$0" >&2
     exit 2
 fi
 binary="$1"
 mode="${2:-smoke}"
+
+if [ "$mode" = "fleet" ]; then
+    floor="${INSITU_PERF_FLOOR_FLEET:-200000}"
+    tmpdir="$(mktemp -d)"
+    trap 'rm -rf "$tmpdir"' EXIT
+    if ! "$binary" --nodes 100000 --stages 6 \
+            > "$tmpdir/fleet.out" 2>&1; then
+        printf 'check_perf: FAILED (fleet_scale exited non-zero)\n' >&2
+        cat "$tmpdir/fleet.out" >&2
+        exit 1
+    fi
+    eps="$(sed -n 's/.*events_per_sec=\([0-9][0-9]*\).*/\1/p' \
+        "$tmpdir/fleet.out")"
+    if [ -z "$eps" ]; then
+        printf 'check_perf: FAILED (no events_per_sec in output)\n' >&2
+        cat "$tmpdir/fleet.out" >&2
+        exit 1
+    fi
+    if [ "$eps" -lt "$floor" ]; then
+        printf 'check_perf: FAILED (fleet %s events/sec < floor %s)\n' \
+            "$eps" "$floor" >&2
+        exit 1
+    fi
+    printf 'check_perf: OK (mode fleet, %s events/sec >= floor %s)\n' \
+        "$eps" "$floor"
+    exit 0
+fi
 
 case "$mode" in
     smoke) size=64;  floor="${INSITU_PERF_FLOOR:-1.0}" ;;

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "nn/serialize.h"
+#include "obs/metrics.h"
 #include "storage/codec.h"
 #include "storage/wal.h"
 #include "util/logging.h"
@@ -37,7 +38,44 @@ decode_commit(const std::string& payload, ModelVersion& v,
     return r.ok && r.remaining() == 0;
 }
 
+bool
+restore_from_state(const std::vector<ModelVersion>& versions,
+                   const std::vector<std::shared_ptr<const std::string>>&
+                       blobs,
+                   int64_t id, Network& net)
+{
+    if (id < 1 || id > static_cast<int64_t>(versions.size())) {
+        warn("unknown model version " + std::to_string(id));
+        return false;
+    }
+    std::istringstream iss(*blobs[static_cast<size_t>(id - 1)],
+                           std::ios::binary);
+    return load_weights(net, iss);
+}
+
 } // namespace
+
+std::optional<ModelVersion>
+ModelRegistry::Snapshot::find(int64_t id) const
+{
+    if (id < 1 || id > static_cast<int64_t>(state_->versions.size()))
+        return std::nullopt;
+    return state_->versions[static_cast<size_t>(id - 1)];
+}
+
+std::optional<ModelVersion>
+ModelRegistry::Snapshot::latest() const
+{
+    if (state_->versions.empty()) return std::nullopt;
+    return state_->versions.back();
+}
+
+bool
+ModelRegistry::Snapshot::restore(int64_t id, Network& net) const
+{
+    return restore_from_state(state_->versions, state_->blobs, id,
+                              net);
+}
 
 int64_t
 ModelRegistry::commit(const Network& net, std::string tag,
@@ -46,22 +84,31 @@ ModelRegistry::commit(const Network& net, std::string tag,
 {
     std::ostringstream oss(std::ios::binary);
     save_weights(net, oss);
-    blobs_.push_back(oss.str());
+    auto blob = std::make_shared<const std::string>(oss.str());
     ModelVersion v;
-    v.id = static_cast<int64_t>(versions_.size()) + 1;
+    v.id = static_cast<int64_t>(state_->versions.size()) + 1;
     v.tag = std::move(tag);
     v.validation_accuracy = validation_accuracy;
     v.trained_images = trained_images;
-    versions_.push_back(v);
+    // Copy-on-write publish: the new block shares every existing
+    // blob pointer; snapshot holders keep the block they captured.
+    auto next = std::make_shared<State>(*state_);
+    next->versions.push_back(v);
+    next->blobs.push_back(std::move(blob));
     if (wal_ != nullptr)
         wal_->append(kWalRegistryCommit,
-                     encode_commit(v, blobs_.back()));
+                     encode_commit(v, *next->blobs.back()));
+    state_ = std::move(next);
+    static auto& commits = obs::MetricsRegistry::global().counter(
+        "cloud.registry.commits");
+    commits.add(1);
     return v.id;
 }
 
 size_t
 ModelRegistry::replay(const std::vector<storage::WalRecord>& records)
 {
+    auto next = std::make_shared<State>(*state_);
     size_t applied = 0;
     for (const auto& rec : records) {
         if (rec.type != kWalRegistryCommit) continue;
@@ -71,43 +118,40 @@ ModelRegistry::replay(const std::vector<storage::WalRecord>& records)
             warn("skipping malformed registry WAL record");
             continue;
         }
-        if (v.id != static_cast<int64_t>(versions_.size()) + 1) {
+        if (v.id != static_cast<int64_t>(next->versions.size()) + 1) {
             warn("skipping out-of-order registry WAL record " +
                  std::to_string(v.id));
             continue;
         }
-        versions_.push_back(std::move(v));
-        blobs_.push_back(std::move(blob));
+        next->versions.push_back(std::move(v));
+        next->blobs.push_back(
+            std::make_shared<const std::string>(std::move(blob)));
         ++applied;
     }
+    if (applied > 0) state_ = std::move(next);
     return applied;
 }
 
 bool
 ModelRegistry::restore(int64_t id, Network& net) const
 {
-    if (id < 1 || id > static_cast<int64_t>(versions_.size())) {
-        warn("unknown model version " + std::to_string(id));
-        return false;
-    }
-    std::istringstream iss(blobs_[static_cast<size_t>(id - 1)],
-                           std::ios::binary);
-    return load_weights(net, iss);
+    return restore_from_state(state_->versions, state_->blobs, id,
+                              net);
 }
 
 std::optional<ModelVersion>
 ModelRegistry::find(int64_t id) const
 {
-    if (id < 1 || id > static_cast<int64_t>(versions_.size()))
+    if (id < 1 || id > static_cast<int64_t>(state_->versions.size()))
         return std::nullopt;
-    return versions_[static_cast<size_t>(id - 1)];
+    return state_->versions[static_cast<size_t>(id - 1)];
 }
 
 std::optional<ModelVersion>
 ModelRegistry::best() const
 {
     std::optional<ModelVersion> out;
-    for (const auto& v : versions_) {
+    for (const auto& v : state_->versions) {
         if (!out || v.validation_accuracy > out->validation_accuracy)
             out = v;
     }
@@ -117,8 +161,8 @@ ModelRegistry::best() const
 std::optional<ModelVersion>
 ModelRegistry::latest() const
 {
-    if (versions_.empty()) return std::nullopt;
-    return versions_.back();
+    if (state_->versions.empty()) return std::nullopt;
+    return state_->versions.back();
 }
 
 std::optional<int64_t>

@@ -6,10 +6,25 @@
  * adversarial drift); a production cloud keeps every deployed version
  * and rolls back when validation accuracy drops. Snapshots use the
  * binary weight format of nn/serialize.
+ *
+ * The version history is **copy-on-write**: the registry's state is
+ * an immutable block published through a shared pointer, weight blobs
+ * are shared between states, and a commit builds a fresh block
+ * (pointer copies, never blob copies) before swapping it in. So
+ *
+ *  - `snapshot()` is O(1) and hands out a frozen view: a reader
+ *    holding one keeps seeing the pre-commit history while commits
+ *    land — canary judgments and rollback decisions never observe a
+ *    half-updated registry;
+ *  - version lookup, canary baseline resolution and `rollback_to`
+ *    stay O(1) in both history length and fleet size — deploying a
+ *    version to a million nodes shares one immutable blob instead of
+ *    copying weights per node.
  */
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -39,6 +54,50 @@ struct ModelVersion {
 /** In-memory versioned store of one network's weights. */
 class ModelRegistry {
   public:
+    ModelRegistry() : state_(std::make_shared<const State>()) {}
+
+    /**
+     * A frozen, immutable view of the whole version history, taken in
+     * O(1). Commits published after the snapshot was taken are
+     * invisible to it; blobs are shared, never copied.
+     */
+    class Snapshot {
+      public:
+        /** Metadata of all versions at snapshot time, oldest first. */
+        const std::vector<ModelVersion>& versions() const
+        {
+            return state_->versions;
+        }
+
+        /** Metadata of version @p id, if the snapshot contains it. */
+        std::optional<ModelVersion> find(int64_t id) const;
+
+        /** Latest version at snapshot time, if any. */
+        std::optional<ModelVersion> latest() const;
+
+        /** Restore version @p id into @p net. False if unknown. */
+        bool restore(int64_t id, Network& net) const;
+
+        size_t size() const { return state_->versions.size(); }
+
+      private:
+        friend class ModelRegistry;
+        /// One immutable history block. Blobs are shared across the
+        /// states that contain them; a commit copies pointers only.
+        struct State {
+            std::vector<ModelVersion> versions;
+            std::vector<std::shared_ptr<const std::string>> blobs;
+        };
+        explicit Snapshot(std::shared_ptr<const State> state)
+            : state_(std::move(state))
+        {
+        }
+        std::shared_ptr<const State> state_;
+    };
+
+    /** O(1) frozen view of the current history (see Snapshot). */
+    Snapshot snapshot() const { return Snapshot(state_); }
+
     /**
      * Snapshot @p net's current weights.
      * @return the new version's id (monotonically increasing from 1).
@@ -53,10 +112,12 @@ class ModelRegistry {
     /** Metadata of version @p id, if it exists. */
     std::optional<ModelVersion> find(int64_t id) const;
 
-    /** Metadata of all versions, oldest first. */
+    /** Metadata of all versions, oldest first. The reference is
+     * invalidated by the next commit/replay; hold a snapshot() for a
+     * stable view. */
     const std::vector<ModelVersion>& versions() const
     {
-        return versions_;
+        return state_->versions;
     }
 
     /** Highest-validation-accuracy version, if any. */
@@ -73,7 +134,7 @@ class ModelRegistry {
     std::optional<int64_t> rollback_if_regressed(Network& net,
                                                  double tolerance);
 
-    size_t size() const { return versions_.size(); }
+    size_t size() const { return state_->versions.size(); }
 
     /**
      * Attach a write-ahead log: every subsequent commit also appends a
@@ -92,9 +153,13 @@ class ModelRegistry {
     size_t replay(const std::vector<storage::WalRecord>& records);
 
   private:
-    std::vector<ModelVersion> versions_;
-    std::vector<std::string> blobs_; ///< serialized weights per version
-    storage::Wal* wal_ = nullptr;    ///< optional durability log
+    using State = Snapshot::State;
+
+    /// The published immutable history. Replaced wholesale on commit/
+    /// replay (copy-on-write): existing Snapshot holders keep the
+    /// state block they captured.
+    std::shared_ptr<const State> state_;
+    storage::Wal* wal_ = nullptr; ///< optional durability log
 };
 
 } // namespace insitu

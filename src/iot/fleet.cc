@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "nn/trainer.h"
+#include "tensor/workspace.h"
 #include "storage/codec.h"
 #include "storage/file.h"
 #include "obs/clock.h"
@@ -209,9 +210,11 @@ FleetSim::bootstrap(int64_t images_per_node, double base_severity)
         parts[i] = make_dataset(config_.synth, images_per_node,
                                 node_condition(i, base_severity),
                                 rng_);
-    std::vector<const Dataset*> ptrs;
-    for (const auto& p : parts) ptrs.push_back(&p);
-    const Dataset pooled = concat_datasets(ptrs);
+    // Pool through the sharded cloud aggregation path; pooled() is
+    // byte-identical to the serial concat fold at any shard count.
+    UpdateShardSet pool_set;
+    for (const auto& p : parts) pool_set.offer(&p);
+    const Dataset pooled = pool_set.pooled();
 
     cloud_.pretrain(pooled.images, config_.pretrain_epochs);
     cloud_.transfer_from_pretext(config_.shared_convs);
@@ -223,11 +226,10 @@ FleetSim::bootstrap(int64_t images_per_node, double base_severity)
     deploy_all();
 
     std::vector<double> node_acc(nodes_.size(), 0.0);
-    parallel_for(0, n, 1, [&](int64_t i0, int64_t i1) {
-        for (int64_t i = i0; i < i1; ++i)
-            node_acc[static_cast<size_t>(i)] =
-                nodes_[static_cast<size_t>(i)].inference().accuracy(
-                    pooled);
+    parallel_shards(n, [&](int64_t i) {
+        node_acc[static_cast<size_t>(i)] =
+            nodes_[static_cast<size_t>(i)].inference().accuracy(
+                pooled);
     });
     double acc = 0.0;
     for (double a : node_acc) acc += a; // ordered reduction
@@ -288,9 +290,11 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
     // region (node-local slots) and consumed by the serial capture
     // pass below — instants cannot be recorded inside parallel_for.
     std::vector<int64_t> flagged_count(nnodes, 0);
-    parallel_for(0, static_cast<int64_t>(nnodes), 1,
-                 [&](int64_t n0, int64_t n1) {
-    for (int64_t ni = n0; ni < n1; ++ni) {
+    // One node-id shard per node: the decomposition is fixed by the
+    // fleet size alone (rule 1), every write below is shard-disjoint
+    // (rule 2), and the folds that follow run serially in ascending
+    // node order (rule 3).
+    parallel_shards(static_cast<int64_t>(nnodes), [&](int64_t ni) {
         const size_t i = static_cast<size_t>(ni);
         FleetNodeReport& nr = report.nodes[i];
         nr.node = static_cast<int>(i);
@@ -320,14 +324,23 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
             nr.flag_rate = node_report.flag_rate;
             nr.accuracy_before = node_report.accuracy.value_or(0.0);
 
-            const auto idx =
-                DiagnosisTask::flagged_indices(node_report.flags);
+            // Per-node scratch rides the thread-local arena: the
+            // flagged-index list lives for this scope only, so the
+            // steady-state step allocates nothing for it.
+            Workspace::Scope scope;
+            const auto& flags = node_report.flags;
+            int64_t* idx = Workspace::local().alloc_as<int64_t>(
+                static_cast<int64_t>(flags.size()));
+            int64_t flagged = 0;
+            for (size_t j = 0; j < flags.size(); ++j)
+                if (flags[j]) idx[flagged++] = static_cast<int64_t>(j);
             Dataset valuable;
             valuable.condition = data.condition;
-            valuable.images = gather_rows(data.images, idx);
-            for (int64_t j : idx)
+            valuable.images = gather_rows(data.images, idx, flagged);
+            valuable.labels.reserve(static_cast<size_t>(flagged));
+            for (int64_t k = 0; k < flagged; ++k)
                 valuable.labels.push_back(
-                    data.labels[static_cast<size_t>(j)]);
+                    data.labels[static_cast<size_t>(idx[k])]);
 
             if (pending_uploads_[i].size() == 0) {
                 pending_uploads_[i] = std::move(valuable);
@@ -335,8 +348,6 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
                 pending_uploads_[i] = concat_datasets(
                     {&pending_uploads_[i], &valuable});
             }
-            const int64_t flagged =
-                static_cast<int64_t>(idx.size());
             flagged_count[i] = flagged;
             nr.dropped = uplinks_[i].enqueue(flagged, window_from);
             if (nr.dropped > 0) {
@@ -347,7 +358,6 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
                     pending_uploads_[i].size());
             }
         }
-    }
     });
     for (const auto& nr : report.nodes)
         if (nr.crashed) ++report.crashed_nodes;
@@ -501,8 +511,13 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
     // reach the pool, and while a canary verdict is pending the pool
     // is held back (trained after the verdict) so the canary/control
     // split stays clean.
-    std::vector<const Dataset*> ptrs;
-    if (deferred_pool_.size() > 0) ptrs.push_back(&deferred_pool_);
+    // The pool is assembled through the sharded cloud aggregation
+    // path: batches are offered serially in contributor order, and
+    // UpdateShardSet::pooled() splices them with per-shard parallel
+    // row copies — byte-identical to the old serial concat fold at
+    // any shard count and thread width.
+    UpdateShardSet pool_set;
+    if (deferred_pool_.size() > 0) pool_set.offer(&deferred_pool_);
     // Lineages feeding this stage's pool: deferred contributors from
     // held-back stages, plus whoever delivered now.
     std::vector<size_t> contributors = deferred_contributors_;
@@ -512,7 +527,7 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
             report.excluded_uploads += delivered_parts[i].size();
             continue;
         }
-        ptrs.push_back(&delivered_parts[i]);
+        pool_set.offer(&delivered_parts[i]);
         if (std::find(contributors.begin(), contributors.end(), i) ==
             contributors.end())
             contributors.push_back(i);
@@ -520,13 +535,13 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
     int64_t deployed_version = 0;
     const bool canary_pending =
         supervisor_ && supervisor_->canary_pending();
-    if (!ptrs.empty() && canary_pending) {
+    if (pool_set.batches() > 0 && canary_pending) {
         // All canaries sat this stage out (crashed); the verdict is
         // deferred, and so is training on this stage's pool.
-        deferred_pool_ = concat_datasets(ptrs);
+        deferred_pool_ = pool_set.pooled();
         deferred_contributors_ = std::move(contributors);
-    } else if (!ptrs.empty()) {
-        Dataset pooled = concat_datasets(ptrs);
+    } else if (pool_set.batches() > 0) {
+        Dataset pooled = pool_set.pooled();
         deferred_pool_ = Dataset{};
         report.update_ran = true;
         if (injector_.update_poisoned(stage_index_)) {
@@ -634,14 +649,11 @@ FleetSim::run_stage(int64_t images_per_node, double base_severity)
     // Phase 4: post-deployment accuracy. Crashed nodes acquired
     // nothing this stage; the mean covers the nodes that did.
     // Node-parallel evaluation, ordered (node-ascending) mean.
-    parallel_for(0, static_cast<int64_t>(nnodes), 1,
-                 [&](int64_t n0, int64_t n1) {
-        for (int64_t ni = n0; ni < n1; ++ni) {
-            const size_t i = static_cast<size_t>(ni);
-            if (report.nodes[i].crashed) continue;
-            report.nodes[i].accuracy_after =
-                nodes_[i].inference().accuracy(stage_data[i]);
-        }
+    parallel_shards(static_cast<int64_t>(nnodes), [&](int64_t ni) {
+        const size_t i = static_cast<size_t>(ni);
+        if (report.nodes[i].crashed) return;
+        report.nodes[i].accuracy_after =
+            nodes_[i].inference().accuracy(stage_data[i]);
     });
     int64_t measured = 0;
     for (size_t i = 0; i < nnodes; ++i) {

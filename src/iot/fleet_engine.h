@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Sharded discrete-event fleet engine: the scale path of the In-situ
+ * AI loop, built to sweep from 10 to 1,000,000 nodes on one machine.
+ *
+ * `FleetSim` (src/iot/fleet.h) carries a real neural network, radio
+ * model and scheduler per node — paper-fidelity, but memory-bound in
+ * the hundreds of nodes. `ScaleFleetEngine` keeps the *system*
+ * behaviors (capture/flag/upload, crash chaos, quarantine, canary
+ * rollout, validation-gated updates, rollback) while shrinking each
+ * node to a ~24-byte POD, so a million-node fleet fits in tens of
+ * megabytes and steps millions of events per second.
+ *
+ * Engine shape, per stage:
+ *
+ *  1. **Sharded event phase.** Nodes are split into `shards()`
+ *     contiguous node-id shards (a pure function of the config, never
+ *     of the thread count). Each shard owns a binary min-heap of
+ *     `FleetEvent`s ordered by the strict `(time, node_id, kind, seq)`
+ *     comparator and drains it for the stage window on the ThreadPool
+ *     via `parallel_shards`. All writes are shard-disjoint; per-node
+ *     randomness is the pure function
+ *     `derive_stream(seed, node, draw_counter)`, so a node's
+ *     trajectory is identical at any shard count and thread width.
+ *  2. **Serial merge fold.** Shard partials — upload totals
+ *     (integer-quantized, ppm scale), tallies, quarantine and
+ *     readmission lists, FNV digests — are folded in ascending shard
+ *     order into the `ShardedUpdateAggregator` cloud shards and then
+ *     into one stage report. Integer sums make the merged totals
+ *     *exactly* invariant to both shard counts.
+ *  3. **Serial cloud phase.** Validation-gated model update, canary
+ *     start/judgment, rollback — all against a real (tiny) `Network`
+ *     and the copy-on-write `ModelRegistry`, so version bookkeeping
+ *     and rollback latency are honestly O(1) in fleet size: a deploy
+ *     repoints one per-shard version watermark, never per-node state.
+ *
+ * The transcript (one merged stage line plus one digest line per
+ * shard, all emitted serially) and the flight-recorder ring are byte
+ * identical at any `INSITU_THREADS`, including under chaos — the
+ * check_fleet_scale.sh ctest gate byte-diffs both at widths 1 vs 4.
+ *
+ * Zero hot-path allocations: every heap, outbox and quarantine list
+ * is preallocated at construction; `hot_allocs()` counts capacity
+ * regrowths inside the event phase and must stay 0 in steady state
+ * (asserted by tests and reported as `fleet.shard.hot_allocs`).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/registry.h"
+#include "cloud/update_service.h"
+#include "iot/supervisor.h"
+#include "models/tiny.h"
+#include "obs/flight.h"
+
+namespace insitu {
+
+/**
+ * Event kinds, in tie-break order at equal (time, node): a reboot
+ * precedes the rebooted node's capture at the same instant, captures
+ * precede uplink drains, drains precede the stage-close bookkeeping.
+ */
+enum class FleetEventKind : uint8_t {
+    kReboot = 0,  ///< crashed node comes back (adopts the watermark)
+    kCapture = 1, ///< sensor capture + on-device diagnosis
+    kDrain = 2,   ///< uplink window: ship backlog to the cloud
+    kStageEnd = 3,///< per-node stage-close bookkeeping (reserved)
+};
+
+/** Printable name of an event kind. */
+const char* fleet_event_kind_name(FleetEventKind kind);
+
+/** One scheduled simulation event. 16 bytes. */
+struct FleetEvent {
+    double t = 0;      ///< simulated seconds
+    uint32_t node = 0; ///< owning node id
+    uint8_t kind = 0;  ///< FleetEventKind
+    uint8_t pad = 0;
+    uint16_t seq = 0;  ///< per-node issue counter (final tie-break)
+};
+
+/**
+ * Strict weak order `(t, node, kind, seq)`. Total over every event a
+ * run can schedule, so heap pop order — and therefore the transcript —
+ * is a pure function of the event set, never of insertion order.
+ */
+bool fleet_event_before(const FleetEvent& a, const FleetEvent& b);
+
+/** Configuration of one scale-engine run. */
+struct ScaleFleetConfig {
+    int64_t nodes = 1000;
+    /// Node-id shards. 0 = auto: ~4096 nodes per shard, clamped to
+    /// [1, 256]. Part of the replay contract — never derived from the
+    /// thread count.
+    int shards = 0;
+    /// Cloud-side update shards the per-fleet-shard partials land in.
+    int cloud_shards = 4;
+
+    double stage_window_s = 600.0;  ///< simulated stage length
+    double drain_interval_s = 60.0; ///< uplink cadence per node
+    int64_t images_per_capture = 24;
+    /// Baseline fraction of captured images flagged valuable (permille).
+    int32_t flag_permille = 120;
+    /// Per-node micro-climate spread applied to flag_permille (±, permille).
+    int32_t severity_spread_permille = 200;
+    int64_t link_capacity = 16;  ///< images per drain window
+    int64_t backlog_cap = 256;   ///< on-device buffer; oldest dropped
+
+    // Chaos knobs (all off by default; integer probabilities so draws
+    // stay exact across platforms).
+    int32_t crash_permille = 0;  ///< per node-stage crash probability
+    int32_t drop_permille = 0;   ///< per drain-batch link-loss probability
+    int32_t poison_permille = 0; ///< per stage poisoned-pool probability
+
+    /// Enable quarantine + canary supervision.
+    bool supervise = true;
+    QuarantineConfig quarantine;
+    CanaryConfig canary;
+    /// Validation gate: a candidate may lag the deployed quality by at
+    /// most this many ppm and still commit.
+    int64_t quality_tolerance_ppm = 20000;
+
+    uint64_t seed = 1;
+
+    /** Fatal-checks internal consistency; returns *this. */
+    const ScaleFleetConfig& validated() const;
+
+    /** The shard count a run of this config uses (resolves 0 = auto). */
+    int resolved_shards() const;
+};
+
+/** Merged, shard-count- and width-invariant summary of one stage. */
+struct ScaleStageReport {
+    int stage = 0;
+    int64_t events = 0;        ///< events processed fleet-wide
+    int64_t captured = 0;      ///< images captured
+    int64_t flagged = 0;       ///< images flagged valuable
+    int64_t delivered = 0;     ///< images landed in the cloud pool
+    int64_t dropped = 0;       ///< link losses + backlog evictions
+    int64_t lost_in_crash = 0; ///< backlog wiped by crashes
+    int64_t crashes = 0;
+    int64_t backlog = 0;       ///< fleet-wide backlog at stage close
+    int64_t quarantined = 0;   ///< nodes quarantined at stage close
+    int64_t newly_quarantined = 0;
+    int64_t readmitted = 0;
+    int64_t excluded = 0;      ///< quarantined deliveries kept from pool
+    bool update_ran = false;
+    bool poisoned = false;     ///< this stage's pool was poisoned
+    bool rejected = false;     ///< validation gate refused the update
+    bool canary_started = false;
+    bool canary_promoted = false;
+    bool canary_rolled_back = false;
+    int64_t canary_judged_version = 0; ///< version a judgment resolved
+    int64_t version = 0;       ///< fleet-deployed registry version
+    int64_t quality_ppm = 0;   ///< deployed model quality (ppm)
+};
+
+/**
+ * The sharded discrete-event engine. Constructed from a config; each
+ * `run_stage()` advances one stage window and returns the merged
+ * report. See the file header for the phase structure.
+ */
+class ScaleFleetEngine {
+  public:
+    explicit ScaleFleetEngine(ScaleFleetConfig config);
+
+    /** Advance one stage window (event phase, merge fold, cloud). */
+    ScaleStageReport run_stage();
+
+    const ScaleFleetConfig& config() const { return config_; }
+    int shards() const { return static_cast<int>(shards_.size()); }
+    int64_t nodes() const { return static_cast<int64_t>(nodes_.size()); }
+    int stages_run() const { return stage_; }
+
+    /** Events processed across all stages so far. */
+    int64_t events_processed() const { return events_total_; }
+
+    /** Capacity regrowths inside the sharded event phase, lifetime. */
+    int64_t hot_allocs() const;
+
+    /** Registry version the fleet watermark points at. */
+    int64_t version() const { return version_; }
+
+    /** Deployed model quality, ppm. */
+    int64_t quality_ppm() const { return quality_ppm_; }
+
+    /** Nodes currently quarantined. */
+    int64_t quarantined_nodes() const;
+
+    /**
+     * Byte-identical-at-any-width run log: one merged line per stage
+     * followed by one `(shard, node range, events, digest)` line per
+     * shard, all emitted on the serial fold.
+     */
+    const std::string& transcript() const { return transcript_; }
+
+    const obs::FlightRecorder& flight() const { return black_box_; }
+    const ModelRegistry& registry() const { return registry_; }
+
+    /** Resident footprint estimate of the engine state, in bytes. */
+    int64_t approx_bytes() const;
+
+    /**
+     * Operator-initiated rollback: restore registry version
+     * @p to_version from a copy-on-write snapshot into the master
+     * network, commit the event as a "rollback" version, and repoint
+     * every shard's deploy watermark. O(registry blob + shards) —
+     * independent of fleet size, which is what the bench's flat
+     * 10 -> 1M rollback-latency column demonstrates.
+     * @return false (no state change) if @p to_version is unknown.
+     */
+    bool rollback_and_redeploy(int64_t to_version);
+
+  private:
+    /// Per-node state. Kept POD-small on purpose: the 1M-node sweep
+    /// is nodes * sizeof(ScaleNode) resident.
+    struct ScaleNode {
+        uint32_t backlog = 0;       ///< flagged images awaiting uplink
+        uint32_t draws = 0;         ///< RNG draw counter (pure streams)
+        uint32_t version = 0;       ///< model version the node runs
+        uint16_t seq = 0;           ///< event issue counter (tie-break)
+        uint16_t value_permille = 0;///< usefulness of this node's uploads
+        uint8_t crash_bits = 0;     ///< sliding per-stage fault window
+        uint8_t state = 0;          ///< kDown | kQuarantined | kCanary
+        uint8_t clean_stages = 0;   ///< fault-free streak in quarantine
+        uint8_t pad = 0;
+    };
+    static constexpr uint8_t kDown = 1;        ///< crashed, awaiting reboot
+    static constexpr uint8_t kQuarantined = 2; ///< excluded from the pool
+    static constexpr uint8_t kCanary = 4;      ///< runs the candidate
+    static constexpr uint8_t kDrainQueued = 8; ///< a kDrain is in-heap
+
+    /// One node-id shard: disjoint state written only by its own job.
+    struct Shard {
+        int64_t begin = 0; ///< first owned node id
+        int64_t end = 0;   ///< one past the last owned node id
+        std::vector<FleetEvent> heap; ///< min-heap (fleet_event_before)
+        std::vector<CloudShardTotals> outbox; ///< one cell per cloud shard
+        std::vector<uint32_t> quarantined;    ///< owned quarantined nodes
+        std::vector<uint32_t> newly_quarantined; ///< this stage
+        std::vector<uint32_t> readmitted;        ///< this stage
+        int64_t deployed_version = 0; ///< the shard's deploy watermark
+        // Per-stage tallies (reset at stage start, folded serially).
+        int64_t events = 0;
+        int64_t captured = 0;
+        int64_t flagged = 0;
+        int64_t delivered = 0;
+        int64_t dropped = 0;
+        int64_t lost_in_crash = 0;
+        int64_t crashes = 0;
+        int64_t excluded = 0;
+        int64_t backlog = 0;
+        int64_t hot_allocs = 0; ///< capacity regrowths this stage
+        uint64_t digest = 0;    ///< FNV fold of processed events
+    };
+
+    uint64_t node_draw(ScaleNode& node, uint32_t id);
+    void push_event(Shard& shard, const FleetEvent& event);
+    void run_shard_stage(Shard& shard, double t0);
+    void process_capture(Shard& shard, ScaleNode& node, uint32_t id,
+                         const FleetEvent& event, double t0);
+    void process_drain(Shard& shard, ScaleNode& node, uint32_t id,
+                       const FleetEvent& event);
+    void sweep_quarantine(Shard& shard);
+    void deploy_all(int64_t version);
+    void run_cloud_phase(const CloudShardTotals& totals,
+                         ScaleStageReport& report);
+    void judge_canary(ScaleStageReport& report);
+    void start_canary(int64_t candidate_version,
+                      int64_t candidate_quality_ppm,
+                      ScaleStageReport& report);
+    void clear_canary_flags();
+
+    ScaleFleetConfig config_;
+    std::vector<ScaleNode> nodes_;
+    std::vector<Shard> shards_;
+    ShardedUpdateAggregator cloud_;
+    ModelRegistry registry_;
+    Network model_; ///< the cloud master (tiny; versions are real blobs)
+
+    int stage_ = 0;
+    double clock_s_ = 0;
+    int64_t version_ = 0;      ///< fleet-deployed registry version
+    int64_t quality_ppm_ = 0;  ///< quality of version_
+    int64_t events_total_ = 0;
+    int64_t hot_allocs_total_ = 0;
+
+    // Pending canary rollout (serial cloud phase only).
+    bool canary_pending_ = false;
+    int64_t canary_version_ = 0;
+    int64_t canary_quality_ppm_ = 0;
+    int64_t canary_baseline_version_ = 0;
+    std::vector<uint32_t> canary_nodes_;
+
+    std::string transcript_;
+    obs::FlightRecorder black_box_{256};
+};
+
+} // namespace insitu

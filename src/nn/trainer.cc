@@ -47,19 +47,29 @@ evaluate_accuracy(Network& net, const Tensor& inputs,
 Tensor
 gather_rows(const Tensor& inputs, const std::vector<int64_t>& indices)
 {
+    return gather_rows(inputs, indices.data(),
+                       static_cast<int64_t>(indices.size()));
+}
+
+Tensor
+gather_rows(const Tensor& inputs, const int64_t* indices,
+            int64_t count)
+{
     INSITU_CHECK(inputs.rank() >= 1, "gather_rows needs rank >= 1");
+    INSITU_CHECK(count >= 0 && (count == 0 || indices != nullptr),
+                 "gather_rows needs a valid index buffer");
     std::vector<int64_t> shape = inputs.shape();
-    shape[0] = static_cast<int64_t>(indices.size());
+    shape[0] = count;
     Tensor out(shape);
     const int64_t inner =
         inputs.numel() / std::max<int64_t>(inputs.dim(0), 1);
-    for (size_t i = 0; i < indices.size(); ++i) {
+    for (int64_t i = 0; i < count; ++i) {
         const int64_t src = indices[i];
         INSITU_CHECK(src >= 0 && src < inputs.dim(0),
                      "gather_rows index out of range");
         std::copy(inputs.data() + src * inner,
                   inputs.data() + (src + 1) * inner,
-                  out.data() + static_cast<int64_t>(i) * inner);
+                  out.data() + i * inner);
     }
     return out;
 }

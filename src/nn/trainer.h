@@ -44,4 +44,13 @@ std::vector<EpochStats> train_epochs(Network& net, Sgd& opt,
 Tensor gather_rows(const Tensor& inputs,
                    const std::vector<int64_t>& indices);
 
+/**
+ * Pointer-range overload: gather @p count rows given a raw index
+ * buffer. This is the arena-friendly form — callers stage the index
+ * list in Workspace scratch instead of a fresh heap vector (the fleet
+ * step path does this per node).
+ */
+Tensor gather_rows(const Tensor& inputs, const int64_t* indices,
+                   int64_t count);
+
 } // namespace insitu

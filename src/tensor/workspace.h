@@ -31,6 +31,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 namespace insitu {
@@ -51,6 +52,28 @@ class Workspace {
      * `nfloats == 0` returns a pointer that must not be dereferenced.
      */
     float* alloc(int64_t nfloats);
+
+    /**
+     * Borrow @p n uninitialized elements of trivially-copyable type
+     * @p T (rounded up to whole floats underneath; same 64-byte
+     * alignment and Scope lifetime as alloc()). This is how non-float
+     * per-node scratch — index lists, event staging buffers — rides
+     * the arena instead of a fresh heap vector per step.
+     */
+    template <typename T>
+    T*
+    alloc_as(int64_t n)
+    {
+        static_assert(std::is_trivially_copyable_v<T> &&
+                          std::is_trivially_destructible_v<T>,
+                      "arena scratch must be trivial");
+        static_assert(alignof(T) <= 64, "arena aligns to 64 bytes");
+        const int64_t nfloats = static_cast<int64_t>(
+            (static_cast<uint64_t>(n < 0 ? 0 : n) * sizeof(T) +
+             sizeof(float) - 1) /
+            sizeof(float));
+        return reinterpret_cast<T*>(alloc(nfloats));
+    }
 
     /**
      * RAII frame: releases every alloc() made while it was the

@@ -255,6 +255,37 @@ parallel_for(int64_t begin, int64_t end, int64_t grain,
                         });
 }
 
+ShardRange
+shard_range(int64_t items, int64_t nshards, int64_t shard)
+{
+    INSITU_CHECK(nshards > 0, "shard_range needs at least one shard");
+    INSITU_CHECK(shard >= 0 && shard < nshards,
+                 "shard index out of range");
+    if (items <= 0) return {0, 0};
+    const int64_t base = items / nshards;
+    const int64_t extra = items % nshards;
+    const int64_t begin =
+        shard * base + (shard < extra ? shard : extra);
+    const int64_t size = base + (shard < extra ? 1 : 0);
+    return {begin, begin + size};
+}
+
+void
+parallel_shards(int64_t nshards,
+                const std::function<void(int64_t)>& job)
+{
+    if (nshards <= 0) return;
+    g_stat_chunks.fetch_add(nshards, std::memory_order_relaxed);
+    if (nshards == 1) {
+        // Single shard: run inline, but still as a parallel body by
+        // contract — the region looks identical at every width.
+        RegionGuard region;
+        job(0);
+        return;
+    }
+    ThreadPool::global().run(nshards, job);
+}
+
 bool
 in_parallel_region()
 {

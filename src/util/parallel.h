@@ -138,6 +138,34 @@ void parallel_for_chunks(
  */
 uint64_t derive_stream(uint64_t seed, uint64_t a, uint64_t b = 0);
 
+/** A contiguous [begin, end) slice of a sharded item range. */
+struct ShardRange {
+    int64_t begin = 0;
+    int64_t end = 0;
+    int64_t size() const { return end - begin; }
+};
+
+/**
+ * The @p shard-th of @p nshards contiguous, balanced slices of
+ * [0, items). A pure function of its arguments — the decomposition is
+ * part of the replay contract (rule 1), so shard boundaries never
+ * depend on the thread count. Leading shards absorb the remainder
+ * (sizes differ by at most one item).
+ */
+ShardRange shard_range(int64_t items, int64_t nshards, int64_t shard);
+
+/**
+ * Execute `job(s)` for every shard s in [0, nshards), on the pool.
+ * The shard-per-job decomposition is fixed by @p nshards alone
+ * (rule 1), so bodies with shard-disjoint writes stay bit-identical
+ * at any thread width; combine per-shard partials serially in
+ * ascending shard order after the call returns (rule 3 — the
+ * serial-fold idiom the fleet engine and supervisor share).
+ * Counts toward `parallel.chunks` like a parallel_for chunk body.
+ */
+void parallel_shards(int64_t nshards,
+                     const std::function<void(int64_t)>& job);
+
 /**
  * True while the current thread is executing a `parallel_for` /
  * `ThreadPool::run` body — on a worker, on the participating caller,
